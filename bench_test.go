@@ -1,0 +1,227 @@
+package hpcwhisk
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// regenerates its experiment end to end and reports the headline
+// numbers as custom metrics, so `go test -bench=. -benchmem` reproduces
+// the whole evaluation section.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchWeek caches the week trace across benchmarks.
+var benchWeek *Trace
+
+func weekTrace() *Trace {
+	if benchWeek == nil {
+		benchWeek = WeekTrace(1)
+	}
+	return benchWeek
+}
+
+// BenchmarkFig1IdleNodesCDF regenerates Fig. 1a: the time-weighted
+// distribution of the number of idle nodes over the week.
+func BenchmarkFig1IdleNodesCDF(b *testing.B) {
+	tr := weekTrace()
+	b.ResetTimer()
+	var r experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig1(tr)
+	}
+	b.ReportMetric(r.MeanIdle, "mean-idle-nodes")
+	b.ReportMetric(r.MedianIdle, "median-idle-nodes")
+}
+
+// BenchmarkFig1IdlePeriodCDF regenerates Fig. 1b: the idle-period
+// length distribution.
+func BenchmarkFig1IdlePeriodCDF(b *testing.B) {
+	tr := weekTrace()
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		med = tr.PeriodLengths().Median()
+	}
+	b.ReportMetric(med/60, "median-period-min")
+}
+
+// BenchmarkFig1TimeSeries regenerates Fig. 1c: the idle-count series
+// with its saturation and burst structure.
+func BenchmarkFig1TimeSeries(b *testing.B) {
+	tr := weekTrace()
+	b.ResetTimer()
+	var share float64
+	var longest time.Duration
+	for i := 0; i < b.N; i++ {
+		share, longest = tr.SaturationShare()
+	}
+	b.ReportMetric(100*share, "zero-idle-%")
+	b.ReportMetric(longest.Minutes(), "longest-zero-idle-min")
+}
+
+// BenchmarkFig2JobCDFs regenerates Fig. 2: declared limits, runtimes,
+// and slack of the 74k-job week.
+func BenchmarkFig2JobCDFs(b *testing.B) {
+	b.ReportAllocs()
+	var r experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig2(2)
+	}
+	b.ReportMetric(r.MedianLimit.Minutes(), "median-limit-min")
+}
+
+// BenchmarkFig3ToySchedule regenerates the motivating example: 4 jobs
+// on 5 nodes with pilot gap-filling.
+func BenchmarkFig3ToySchedule(b *testing.B) {
+	var r experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig3(3)
+	}
+	b.ReportMetric(r.Makespan.Minutes(), "makespan-min")
+	b.ReportMetric(100*r.ReadyCoverage, "ready-coverage-%")
+	b.ReportMetric(r.AvgIdleNodes, "avg-idle-nodes")
+}
+
+// BenchmarkTableIJobLengthSets regenerates Table I: the clairvoyant
+// coverage of all six job-length sets over the week.
+func BenchmarkTableIJobLengthSets(b *testing.B) {
+	tr := weekTrace()
+	b.ResetTimer()
+	var r experiments.TableIResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunTableI(tr)
+	}
+	for _, row := range r.Rows {
+		if row.Set.Name == "A1" {
+			b.ReportMetric(100*row.ShareReady, "A1-ready-%")
+			b.ReportMetric(float64(row.Jobs), "A1-jobs")
+		}
+	}
+}
+
+// BenchmarkTableIIFibExperiment regenerates Table II + Fig. 5a/5c: the
+// full 24-hour fib-day run on the 2,239-node cluster.
+func BenchmarkTableIIFibExperiment(b *testing.B) {
+	var r DayResult
+	for i := 0; i < b.N; i++ {
+		cfg := FibDay(1)
+		cfg.QPS = 0 // coverage perspective only; Fig 5b has its own bench
+		r = RunDay(cfg)
+	}
+	b.ReportMetric(100*r.Coverage(), "live-coverage-%")
+	b.ReportMetric(100*r.Sim.Coverage(), "sim-bound-%")
+	b.ReportMetric(r.OW.HealthyAvg, "healthy-avg")
+}
+
+// BenchmarkTableIIIVarExperiment regenerates Table III + Fig. 6a/6c.
+func BenchmarkTableIIIVarExperiment(b *testing.B) {
+	var r DayResult
+	for i := 0; i < b.N; i++ {
+		cfg := VarDay(1)
+		cfg.QPS = 0
+		r = RunDay(cfg)
+	}
+	b.ReportMetric(100*r.Coverage(), "live-coverage-%")
+	b.ReportMetric(100*r.Sim.Coverage(), "sim-bound-%")
+	b.ReportMetric(r.OW.HealthyAvg, "healthy-avg")
+}
+
+// BenchmarkFig5bResponsivenessFib regenerates Fig. 5b: 10 QPS against
+// 100 sleep functions for 24 hours on the fib day (864,000 requests).
+func BenchmarkFig5bResponsivenessFib(b *testing.B) {
+	var r DayResult
+	for i := 0; i < b.N; i++ {
+		r = RunDay(FibDay(1))
+	}
+	b.ReportMetric(100*r.Load.InvokedShare, "invoked-%")
+	b.ReportMetric(100*r.Load.SuccessShare, "success-%")
+	b.ReportMetric(float64(r.Load.MedianLatency.Milliseconds()), "median-ms")
+}
+
+// BenchmarkFig6bResponsivenessVar regenerates Fig. 6b on the var day.
+func BenchmarkFig6bResponsivenessVar(b *testing.B) {
+	var r DayResult
+	for i := 0; i < b.N; i++ {
+		r = RunDay(VarDay(1))
+	}
+	b.ReportMetric(100*r.Load.InvokedShare, "invoked-%")
+	b.ReportMetric(100*r.Load.SuccessShare, "success-%")
+	b.ReportMetric(float64(r.Load.MedianLatency.Milliseconds()), "median-ms")
+}
+
+// BenchmarkFig7SeBS regenerates Fig. 7: warm bfs/mst/pagerank on the
+// HPC-node platform vs the Lambda 2048 MB platform, real kernels.
+func BenchmarkFig7SeBS(b *testing.B) {
+	var r experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r = RunFig7(20000, 8, 20, 4)
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(row.Speedup, row.Function+"-lambda/prom")
+	}
+}
+
+// BenchmarkWarmupCalibration verifies the §IV-B warm-up model (median
+// 12.48 s, p95 26.50 s) at sampling speed.
+func BenchmarkWarmupCalibration(b *testing.B) {
+	d := dist.WarmupSeconds()
+	r := dist.NewRand(1)
+	var s stats.Sample
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(d.Sample(r))
+	}
+	if s.Len() > 100 {
+		b.ReportMetric(s.Median(), "median-s")
+		b.ReportMetric(s.Quantile(0.95), "p95-s")
+	}
+}
+
+// BenchmarkAblationHandoff compares the hand-off design points of
+// §III-C (full protocol / no interruption / hard kill).
+func BenchmarkAblationHandoff(b *testing.B) {
+	var r experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		r = RunAblation(256, 4*time.Hour, 5)
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(100*row.LostShare, row.Variant.Name+"-lost-%")
+	}
+}
+
+// BenchmarkScientificWorkload runs the §VII future-work experiment: a
+// heterogeneous, Azure-calibrated scientific FaaS workload over
+// HPC-Whisk with the Alg. 1 fallback.
+func BenchmarkScientificWorkload(b *testing.B) {
+	var r experiments.ScientificResult
+	for i := 0; i < b.N; i++ {
+		r = RunScientific(DefaultScientificConfig(1))
+	}
+	b.ReportMetric(100*r.Load.SuccessShare, "success-%")
+	b.ReportMetric(100*r.FallbackShare, "fallback-%")
+}
+
+// BenchmarkEndogenousScheduler runs prime jobs through the emulator's
+// own EASY backfill with pilots harvesting the emergent gaps.
+func BenchmarkEndogenousScheduler(b *testing.B) {
+	var r experiments.EndogenousResult
+	for i := 0; i < b.N; i++ {
+		r = RunEndogenous(DefaultEndogenousConfig(1))
+	}
+	b.ReportMetric(100*r.PrimeUtilization, "prime-util-%")
+	b.ReportMetric(100*r.PilotCoverage, "pilot-coverage-%")
+}
+
+// BenchmarkTraceGeneration measures the idle-process generator itself
+// (the substrate every experiment builds on).
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		workload.DefaultIdleProcess(2239, 24*time.Hour, int64(i)).Generate()
+	}
+}

@@ -1,0 +1,42 @@
+// Command extensions runs the beyond-the-paper experiments: the §VII
+// future-work scientific FaaS workload, the endogenous full-scheduler
+// run, and the hand-off ablation.
+//
+// Usage:
+//
+//	extensions -exp scientific
+//	extensions -exp endogenous -seed 2
+//	extensions -exp ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "scientific", "experiment: scientific, endogenous, or ablation")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	start := time.Now()
+	switch *exp {
+	case "scientific":
+		res := experiments.RunScientific(experiments.DefaultScientificConfig(*seed))
+		res.Render(os.Stdout)
+	case "endogenous":
+		res := experiments.RunEndogenous(experiments.DefaultEndogenousConfig(*seed))
+		res.Render(os.Stdout)
+	case "ablation":
+		res := experiments.RunAblation(256, 4*time.Hour, *seed)
+		res.Render(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,65 @@
+// Command hpcwhisk-sim runs a full 24-hour HPC-Whisk production
+// experiment (Tables II/III, Figs. 5/6 of the paper) on the simulated
+// cluster and prints the three monitoring perspectives plus the
+// responsiveness report.
+//
+// Usage:
+//
+//	hpcwhisk-sim -mode fib -seed 1
+//	hpcwhisk-sim -mode var -hours 24 -qps 10 -minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	mode := flag.String("mode", "fib", "pilot supply model: fib or var")
+	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	nodes := flag.Int("nodes", experiments.PrometheusNodes, "cluster size")
+	hours := flag.Int("hours", 24, "experiment length in hours")
+	qps := flag.Float64("qps", 10, "responsiveness load (0 disables)")
+	minutes := flag.Bool("minutes", false, "print the per-minute Fig 5b/6b series")
+	series := flag.Bool("series", false, "print the per-minute worker-count panels (Fig 5a/6a)")
+	flag.Parse()
+
+	var cfg experiments.DayConfig
+	switch *mode {
+	case "fib":
+		cfg = experiments.FibDay(*seed)
+	case "var":
+		cfg = experiments.VarDay(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want fib or var)\n", *mode)
+		os.Exit(2)
+	}
+	cfg.Nodes = *nodes
+	cfg.Horizon = time.Duration(*hours) * time.Hour
+	cfg.QPS = *qps
+
+	start := time.Now()
+	res := experiments.RunDay(cfg)
+	res.Render(os.Stdout)
+	fmt.Printf("(simulated %v of cluster time in %v)\n", cfg.Horizon, time.Since(start).Round(time.Millisecond))
+
+	if *series {
+		fmt.Println()
+		res.RenderSeries(os.Stdout)
+	}
+
+	if *minutes && res.Series != nil {
+		fmt.Println("\nper-minute series (Fig 5b/6b):")
+		fmt.Printf("%-8s %8s %8s %8s %8s\n", "minute", "success", "failed", "lost", "503")
+		for i, row := range res.Series.Rows() {
+			fmt.Printf("%-8d %8d %8d %8d %8d\n", i,
+				row.Counts[loadgen.LabelSuccess], row.Counts[loadgen.LabelFailed],
+				row.Counts[loadgen.LabelLost], row.Counts[loadgen.Label503])
+		}
+	}
+}

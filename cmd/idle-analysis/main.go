@@ -1,0 +1,50 @@
+// Command idle-analysis regenerates the production-workload analysis of
+// §I: the idle-node and idle-period distributions of Fig. 1 and the
+// HPC-job CDFs of Fig. 2, over a calibrated synthetic week.
+//
+// Usage:
+//
+//	idle-analysis -seed 1
+//	idle-analysis -days 7 -trace-out week.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	nodes := flag.Int("nodes", experiments.PrometheusNodes, "cluster size")
+	days := flag.Int("days", 7, "trace length in days")
+	traceOut := flag.String("trace-out", "", "optional path to dump the trace as CSV")
+	flag.Parse()
+
+	horizon := time.Duration(*days) * 24 * time.Hour
+	tr := workload.DefaultIdleProcess(*nodes, horizon, *seed).Generate()
+
+	fig1 := experiments.RunFig1(tr)
+	fig1.Render(os.Stdout)
+	fmt.Println()
+	fig2 := experiments.RunFig2(*seed)
+	fig2.Render(os.Stdout)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s (%d periods)\n", *traceOut, len(tr.Periods))
+	}
+}

@@ -1,0 +1,47 @@
+// Command joblen-opt regenerates Table I: the clairvoyant coverage
+// simulation that sizes the fib model's pilot job lengths (§IV-B).
+//
+// Usage:
+//
+//	joblen-opt -seed 1
+//	joblen-opt -days 7 -trace week.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	nodes := flag.Int("nodes", experiments.PrometheusNodes, "cluster size")
+	days := flag.Int("days", 7, "trace length in days")
+	tracePath := flag.String("trace", "", "optional CSV trace to analyze instead of generating")
+	flag.Parse()
+
+	var tr *workload.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		tr, err = workload.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	} else {
+		horizon := time.Duration(*days) * 24 * time.Hour
+		tr = workload.DefaultIdleProcess(*nodes, horizon, *seed).Generate()
+	}
+
+	res := experiments.RunTableI(tr)
+	res.Render(os.Stdout)
+}

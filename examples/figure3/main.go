@@ -1,0 +1,16 @@
+// Figure 3: the paper's motivating example. Four HPC jobs are
+// backfilled onto five nodes (minimal-makespan shape) and short pilot
+// jobs of 2/4/6/10 minutes fill the idle gaps, covering most of the
+// otherwise-wasted surface.
+package main
+
+import (
+	"os"
+
+	hpcwhisk "repro"
+)
+
+func main() {
+	res := hpcwhisk.RunFig3(3)
+	res.Render(os.Stdout)
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a small HPC-Whisk deployment, drive it with a
+// generated availability trace, deploy a function, and invoke it while
+// pilots come and go.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	hpcwhisk "repro"
+)
+
+func main() {
+	// A 64-node cluster running the fib supply model.
+	sys := hpcwhisk.New(hpcwhisk.DefaultConfig(64, hpcwhisk.ModeFib))
+
+	// Two hours of calibrated idle-availability (≈6 idle nodes at a
+	// time, 2-minute median windows).
+	traceCfg := hpcwhisk.DefaultTraceConfig(64, 2*time.Hour, 42)
+	traceCfg.MeanIdleNodes = 6
+	sys.LoadTrace(traceCfg.Generate())
+
+	// Deploy a function.
+	sys.Ctrl.RegisterAction(&hpcwhisk.Action{
+		Name:          "hello",
+		MemoryMB:      256,
+		Exec:          hpcwhisk.FixedExec(25 * time.Millisecond),
+		Interruptible: true,
+	})
+
+	// Invoke it every two seconds while the infrastructure churns.
+	var ok, errs int
+	var latencies []time.Duration
+	tick := sys.Sim.Every(2*time.Second, func() {
+		sys.Ctrl.Invoke("hello", func(inv *hpcwhisk.Invocation) {
+			if inv.Status == hpcwhisk.StatusSuccess {
+				ok++
+				latencies = append(latencies, inv.Latency())
+			} else {
+				errs++
+			}
+		})
+	})
+
+	sys.Start()
+	sys.Run(2 * time.Hour)
+	tick.Stop()
+	sys.Run(2 * time.Minute) // drain
+
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	fmt.Printf("pilots started:      %d\n", sys.Manager.PilotsStarted)
+	fmt.Printf("invokers registered: %d\n", sys.Manager.Registered)
+	fmt.Printf("graceful hand-offs:  %d\n", sys.Manager.Handoffs)
+	fmt.Printf("invocations:         %d ok, %d not served\n", ok, errs)
+	if ok > 0 {
+		fmt.Printf("mean latency:        %v\n", (sum / time.Duration(ok)).Round(time.Millisecond))
+	}
+	fmt.Printf("idle coverage:       %.1f%%\n", 100*sys.Logger.Stats().ShareUsed)
+}

@@ -1,0 +1,16 @@
+// Scientific FaaS workload — the paper's named future work (§VII):
+// run HPC-Whisk under a realistic, heterogeneous function population
+// (Azure-Functions-calibrated durations, Zipf popularity, long
+// non-interruptible functions) with the Alg. 1 commercial fallback.
+package main
+
+import (
+	"os"
+
+	hpcwhisk "repro"
+)
+
+func main() {
+	res := hpcwhisk.RunScientific(hpcwhisk.DefaultScientificConfig(1))
+	res.Render(os.Stdout)
+}

@@ -1,0 +1,15 @@
+// SeBS benchmark (Fig. 7): run the real bfs/mst/pagerank kernels warm
+// and compare the HPC-node platform against the AWS-Lambda 2048 MB
+// platform — the paper observed the HPC node ≈15% faster.
+package main
+
+import (
+	"os"
+
+	hpcwhisk "repro"
+)
+
+func main() {
+	res := hpcwhisk.RunFig7(30000, 8, 50, 4)
+	res.Render(os.Stdout)
+}

@@ -1,0 +1,54 @@
+// Slurm porcelain: drive the emulator exactly like the paper's
+// shell-script job manager (§III-D) — sbatch preemptible pilots, watch
+// squeue/sinfo, scancel the leftovers.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/slurm"
+	"repro/internal/slurmcli"
+	"repro/internal/workload"
+)
+
+func main() {
+	sim := des.New()
+	emu := slurm.New(sim, 8, slurm.DefaultConfig())
+	emu.AddPartition(slurm.Partition{Name: "whisk", PriorityTier: 0})
+	emu.AddPartition(slurm.Partition{Name: "hpc", PriorityTier: 1})
+
+	cfg := workload.DefaultIdleProcess(8, time.Hour, 5)
+	cfg.MeanIdleNodes = 3
+	emu.DriveTrace(cfg.Generate())
+	emu.Start()
+
+	sh := slurmcli.New(emu)
+	run := func(cmd string) {
+		out, err := sh.Exec(cmd)
+		fmt.Printf("$ %s\n", cmd)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+
+	// Submit a bag of fib pilots like the §III-D manager.
+	for _, l := range []string{"2", "4", "6", "8", "14"} {
+		run("sbatch --partition=whisk --job-name=pilot" + l + " --time=" + l + " --priority=" + l)
+	}
+	run("sbatch --partition=whisk --job-name=flex --time-min=2 --time=120")
+
+	sim.RunUntil(2 * time.Minute)
+	run("squeue")
+	run("sinfo")
+
+	sim.RunUntil(20 * time.Minute)
+	run("squeue --state=running")
+	run("scancel 5")
+	fmt.Printf("(after 20 min: %d pilots started, %d preempted)\n", emu.Started, emu.Preempted)
+}

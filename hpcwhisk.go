@@ -1,0 +1,225 @@
+// Package hpcwhisk is the public facade of the HPC-Whisk reproduction:
+// a FaaS layer harvesting the transient idle nodes of an HPC cluster by
+// submitting low-priority, preemptible pilot jobs to Slurm, each hosting
+// a dynamically (de)registering OpenWhisk invoker (Przybylski et al.,
+// "Using Unused: Non-Invasive Dynamic FaaS Infrastructure with
+// HPC-Whisk", SC22).
+//
+// The facade exposes three layers:
+//
+//   - Deployment: New wires a complete simulated deployment (Slurm
+//     emulator + OpenWhisk controller + pilot-job manager) that can be
+//     driven by a generated availability trace or a prime job stream.
+//   - Workloads: GenerateTrace builds the calibrated idle-availability
+//     trace standing in for the paper's production logs; GenerateJobs
+//     builds the Fig. 2 HPC job stream.
+//   - Experiments: the Run* functions regenerate every table and figure
+//     of the paper's evaluation.
+//
+// Everything runs on a deterministic virtual clock: a seeded run is
+// reproducible bit-for-bit, and 24-hour experiments complete in seconds.
+package hpcwhisk
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/experiments"
+	"repro/internal/lambda"
+	"repro/internal/loadgen"
+	"repro/internal/sebs"
+	"repro/internal/slurm"
+	"repro/internal/whisk"
+	"repro/internal/workload"
+)
+
+// Mode selects the pilot-job supply model of §III-D: fixed-length bags
+// (fib) or Slurm-sized variable-length jobs (var).
+type Mode = core.Mode
+
+// Supply models.
+const (
+	ModeFib = core.ModeFib
+	ModeVar = core.ModeVar
+)
+
+// System is a fully wired HPC-Whisk deployment: Slurm emulator,
+// OpenWhisk controller and bus, pilot manager, and Slurm-level logger,
+// all sharing one virtual clock.
+type System = core.System
+
+// SystemConfig configures a deployment.
+type SystemConfig = core.SystemConfig
+
+// DefaultConfig returns the paper's deployment configuration for a
+// cluster size and supply mode.
+func DefaultConfig(nodes int, mode Mode) SystemConfig {
+	return core.DefaultSystemConfig(nodes, mode)
+}
+
+// New builds a deployment.
+func New(cfg SystemConfig) *System { return core.NewSystem(cfg) }
+
+// Trace is a whole-cluster idle-availability trace.
+type Trace = workload.Trace
+
+// TraceConfig parameterizes the calibrated idle-period process.
+type TraceConfig = workload.IdleProcessConfig
+
+// DefaultTraceConfig returns the §I calibration (9.23 mean idle nodes,
+// 2-minute median periods, 10.11% saturation) for a cluster and span.
+func DefaultTraceConfig(nodes int, horizon time.Duration, seed int64) TraceConfig {
+	return workload.DefaultIdleProcess(nodes, horizon, seed)
+}
+
+// GenerateTrace builds a calibrated availability trace.
+func GenerateTrace(nodes int, horizon time.Duration, seed int64) *Trace {
+	return DefaultTraceConfig(nodes, horizon, seed).Generate()
+}
+
+// Job is one prime HPC job (Fig. 2 calibration).
+type Job = workload.Job
+
+// GenerateJobs builds the calibrated HPC job stream.
+func GenerateJobs(n int, horizon time.Duration, seed int64) []Job {
+	return workload.DefaultJobGen(n, horizon, seed).Generate()
+}
+
+// Action is a deployed FaaS function.
+type Action = whisk.Action
+
+// Invocation is one function call from submission to completion.
+type Invocation = whisk.Invocation
+
+// Invocation outcome statuses.
+const (
+	StatusSuccess = whisk.StatusSuccess
+	StatusFailed  = whisk.StatusFailed
+	StatusTimeout = whisk.StatusTimeout
+	Status503     = whisk.Status503
+)
+
+// FixedExec models a constant in-container execution time.
+func FixedExec(d time.Duration) whisk.ExecFunc { return whisk.FixedExec(d) }
+
+// Wrapper is the Alg. 1 client-side fallback (§III-E).
+type Wrapper = core.Wrapper
+
+// NewWrapper builds the Alg. 1 wrapper over a primary deployment and an
+// optional commercial-cloud fallback.
+func NewWrapper(sys *System, fallback core.Backend) *Wrapper {
+	return core.NewWrapper(sys.Sim, sys.Ctrl, fallback)
+}
+
+// LambdaClient is the commercial-FaaS fallback/baseline model.
+type LambdaClient = lambda.Client
+
+// NewLambdaClient builds the AWS-Lambda-like backend for a deployment's
+// clock.
+func NewLambdaClient(sys *System, seed int64) *LambdaClient {
+	return lambda.NewClient(sys.Sim, lambda.DefaultClientConfig(), seed)
+}
+
+// LoadGenerator is the Gatling-like open-loop constant-rate client.
+type LoadGenerator = loadgen.Generator
+
+// NewLoadGenerator builds a load generator against the deployment's
+// controller.
+func NewLoadGenerator(sys *System, qps float64, actions []string, duration time.Duration) *LoadGenerator {
+	return loadgen.New(sys.Sim, loadgen.ForController(sys.Ctrl),
+		loadgen.Config{QPS: qps, Actions: actions, Duration: duration})
+}
+
+// SlurmJobSpec submits prime HPC jobs in full-scheduler mode.
+type SlurmJobSpec = slurm.JobSpec
+
+// CoverageSet is a named pilot job-length set (Table I).
+type CoverageSet = coverage.Set
+
+// SimulateCoverage runs the clairvoyant a-posteriori packing of §IV-B.
+func SimulateCoverage(tr *Trace, set CoverageSet) coverage.Result {
+	return coverage.Simulate(tr, set, coverage.DefaultConfig())
+}
+
+// SeBSWorkload bundles the real bfs/mst/pagerank kernels over a
+// generated graph.
+type SeBSWorkload = sebs.Workload
+
+// NewSeBSWorkload generates the SeBS benchmark input.
+func NewSeBSWorkload(vertices, degree int, seed int64) *SeBSWorkload {
+	return sebs.NewWorkload(vertices, degree, seed)
+}
+
+// Experiment entry points: each regenerates one table or figure.
+
+// DayConfig configures a 24-hour production experiment.
+type DayConfig = experiments.DayConfig
+
+// DayResult bundles the Simulation / Slurm-level / OpenWhisk-level
+// perspectives plus the responsiveness report.
+type DayResult = experiments.DayResult
+
+// FibDay returns the Table II / Fig. 5 configuration.
+func FibDay(seed int64) DayConfig { return experiments.FibDay(seed) }
+
+// VarDay returns the Table III / Fig. 6 configuration.
+func VarDay(seed int64) DayConfig { return experiments.VarDay(seed) }
+
+// RunDay executes a 24-hour experiment.
+func RunDay(cfg DayConfig) DayResult { return experiments.RunDay(cfg) }
+
+// RunFig1 analyzes a week trace (idle-node and idle-period CDFs).
+func RunFig1(tr *Trace) experiments.Fig1Result { return experiments.RunFig1(tr) }
+
+// RunFig2 regenerates the HPC job CDFs.
+func RunFig2(seed int64) experiments.Fig2Result { return experiments.RunFig2(seed) }
+
+// RunFig3 regenerates the 5-node motivating schedule.
+func RunFig3(seed int64) experiments.Fig3Result { return experiments.RunFig3(seed) }
+
+// RunTableI evaluates the six job-length sets.
+func RunTableI(tr *Trace) experiments.TableIResult { return experiments.RunTableI(tr) }
+
+// RunFig7 compares the SeBS functions across platforms.
+func RunFig7(vertices, degree, invocations int, seed int64) experiments.Fig7Result {
+	return experiments.RunFig7(vertices, degree, invocations, seed)
+}
+
+// RunAblation compares the hand-off design points.
+func RunAblation(nodes int, horizon time.Duration, seed int64) experiments.AblationResult {
+	return experiments.RunAblation(nodes, horizon, seed)
+}
+
+// WeekTrace generates the calibrated stand-in for the paper's analyzed
+// production week (2,239 nodes, 7 days).
+func WeekTrace(seed int64) *Trace { return experiments.WeekTrace(seed) }
+
+// ScientificConfig configures the §VII future-work experiment: a
+// representative scientific FaaS workload over HPC-Whisk.
+type ScientificConfig = experiments.ScientificConfig
+
+// DefaultScientificConfig returns a tractable default scenario.
+func DefaultScientificConfig(seed int64) ScientificConfig {
+	return experiments.DefaultScientificConfig(seed)
+}
+
+// RunScientific executes the scientific-workload experiment.
+func RunScientific(cfg ScientificConfig) experiments.ScientificResult {
+	return experiments.RunScientific(cfg)
+}
+
+// EndogenousConfig configures the full-scheduler experiment: prime jobs
+// flow through the emulator's own EASY backfill and pilots harvest the
+// idleness that emerges from scheduling.
+type EndogenousConfig = experiments.EndogenousConfig
+
+// DefaultEndogenousConfig returns a tractable slice.
+func DefaultEndogenousConfig(seed int64) EndogenousConfig {
+	return experiments.DefaultEndogenousConfig(seed)
+}
+
+// RunEndogenous executes the full-scheduler experiment.
+func RunEndogenous(cfg EndogenousConfig) experiments.EndogenousResult {
+	return experiments.RunEndogenous(cfg)
+}

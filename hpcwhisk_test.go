@@ -1,0 +1,139 @@
+package hpcwhisk
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests exercise the public facade end to end, the way a
+// downstream user would.
+
+func TestFacadeDeployAndInvoke(t *testing.T) {
+	sys := New(DefaultConfig(32, ModeFib))
+	cfg := DefaultTraceConfig(32, time.Hour, 5)
+	cfg.MeanIdleNodes = 4
+	sys.LoadTrace(cfg.Generate())
+	sys.Ctrl.RegisterAction(&Action{
+		Name: "f", MemoryMB: 128, Exec: FixedExec(5 * time.Millisecond), Interruptible: true,
+	})
+	ok := 0
+	tick := sys.Sim.Every(5*time.Second, func() {
+		sys.Ctrl.Invoke("f", func(inv *Invocation) {
+			if inv.Status == StatusSuccess {
+				ok++
+			}
+		})
+	})
+	sys.Start()
+	sys.Run(time.Hour)
+	tick.Stop()
+	sys.Run(time.Minute)
+	if ok == 0 {
+		t.Fatal("no successful invocation through the facade")
+	}
+	if sys.Manager.Registered == 0 {
+		t.Fatal("no invoker ever registered")
+	}
+}
+
+func TestFacadeTraceGeneration(t *testing.T) {
+	tr := GenerateTrace(100, 2*time.Hour, 7)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Periods) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestFacadeJobs(t *testing.T) {
+	jobs := GenerateJobs(500, 24*time.Hour, 3)
+	if len(jobs) != 500 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Runtime > j.Declared {
+			t.Fatal("runtime above declared limit")
+		}
+	}
+}
+
+func TestFacadeWrapperWithLambdaFallback(t *testing.T) {
+	sys := New(DefaultConfig(8, ModeFib))
+	sys.LoadTrace(&Trace{Nodes: 8, Horizon: time.Hour}) // starved cluster
+	sys.Ctrl.RegisterAction(&Action{Name: "g", Exec: FixedExec(time.Millisecond)})
+	fb := NewLambdaClient(sys, 9)
+	w := NewWrapper(sys, fb)
+	served := 0
+	sys.Sim.Every(10*time.Second, func() {
+		w.Invoke("g", func(inv *Invocation) {
+			if inv.Status == StatusSuccess {
+				served++
+			}
+		})
+	})
+	sys.Start()
+	sys.Run(10 * time.Minute)
+	if served == 0 {
+		t.Fatal("wrapper served nothing despite fallback")
+	}
+	if fb.Calls == 0 {
+		t.Fatal("fallback never used on a starved cluster")
+	}
+}
+
+func TestFacadeCoverageSimulation(t *testing.T) {
+	tr := GenerateTrace(200, 6*time.Hour, 11)
+	res := SimulateCoverage(tr, CoverageSet{Name: "A1", Lengths: []time.Duration{
+		2 * time.Minute, 4 * time.Minute, 6 * time.Minute, 8 * time.Minute,
+		14 * time.Minute, 22 * time.Minute, 34 * time.Minute, 56 * time.Minute,
+		90 * time.Minute,
+	}})
+	if res.Jobs == 0 {
+		t.Fatal("no jobs packed")
+	}
+	total := res.ShareWarmup + res.ShareReady + res.ShareNotUsed
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %v", total)
+	}
+}
+
+func TestFacadeSeBS(t *testing.T) {
+	w := NewSeBSWorkload(1000, 6, 13)
+	for _, fn := range []string{"bfs", "mst", "pagerank"} {
+		if w.Run(fn) == 0 {
+			t.Errorf("%s produced zero checksum", fn)
+		}
+	}
+}
+
+func TestFacadeLoadGenerator(t *testing.T) {
+	sys := New(DefaultConfig(16, ModeFib))
+	cfg := DefaultTraceConfig(16, 30*time.Minute, 17)
+	cfg.MeanIdleNodes = 4
+	sys.LoadTrace(cfg.Generate())
+	actions := []string{"a", "b"}
+	for _, n := range actions {
+		sys.Ctrl.RegisterAction(&Action{Name: n, Exec: FixedExec(time.Millisecond), Interruptible: true})
+	}
+	gen := NewLoadGenerator(sys, 2, actions, 30*time.Minute)
+	gen.Start()
+	sys.Start()
+	sys.Run(30 * time.Minute)
+	sys.Run(2 * time.Minute)
+	rep := gen.Report()
+	if rep.Issued != 3600 {
+		t.Fatalf("issued = %d", rep.Issued)
+	}
+	if rep.InvokedShare == 0 {
+		t.Fatal("nothing invoked")
+	}
+}
+
+func TestFacadeWeekTraceMatchesPaper(t *testing.T) {
+	tr := WeekTrace(2)
+	mean := tr.IdleCount().TimeMean()
+	if mean < 7 || mean > 12 {
+		t.Errorf("week mean idle = %.2f, want ≈9.23", mean)
+	}
+}

@@ -1,0 +1,172 @@
+// Package bus provides the Kafka-like message substrate of the OpenWhisk
+// emulation: named topics with at-most-once pull consumption, per-invoker
+// queues, the global fast-lane topic of §III-C, and bulk move semantics
+// used by the hand-off protocol (a terminating invoker's unexecuted
+// requests move to the fast lane; the controller moves the unpulled ones).
+package bus
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/dist"
+)
+
+// Message is one queued unit (an OpenWhisk activation request).
+type Message struct {
+	ID        int64
+	TopicName string
+	Payload   any
+	Published des.Time // when Publish was called
+	Delivered des.Time // when it became pullable
+	Moves     int      // how many times it was moved between topics
+}
+
+// Bus manages topics on the simulation plane.
+type Bus struct {
+	sim     *des.Sim
+	rng     *rand.Rand
+	latency dist.Dist // publish→deliver latency in seconds
+	topics  map[string]*Topic
+	nextID  int64
+
+	// Counters across all topics.
+	Published int
+	Moved     int
+}
+
+// DefaultLatency models a small on-cluster Kafka hop.
+func DefaultLatency() dist.Dist { return dist.Uniform{Lo: 0.004, Hi: 0.020} }
+
+// New creates a bus whose deliveries take latency seconds (nil for
+// DefaultLatency).
+func New(sim *des.Sim, latency dist.Dist, seed int64) *Bus {
+	if latency == nil {
+		latency = DefaultLatency()
+	}
+	return &Bus{
+		sim:     sim,
+		rng:     dist.NewRand(seed),
+		latency: latency,
+		topics:  map[string]*Topic{},
+	}
+}
+
+// Topic returns the named topic, creating it on first use.
+func (b *Bus) Topic(name string) *Topic {
+	t, ok := b.topics[name]
+	if !ok {
+		t = &Topic{name: name, bus: b}
+		b.topics[name] = t
+	}
+	return t
+}
+
+// Publish enqueues payload on the named topic after the delivery latency.
+func (b *Bus) Publish(name string, payload any) *Message {
+	m := &Message{
+		ID:        b.nextID,
+		TopicName: name,
+		Payload:   payload,
+		Published: b.sim.Now(),
+	}
+	b.nextID++
+	b.Published++
+	d := dist.Seconds(b.latency, b.rng)
+	b.sim.After(d, func() {
+		t := b.Topic(name)
+		m.Delivered = b.sim.Now()
+		t.queue = append(t.queue, m)
+		t.Delivered++
+		if t.onDelivery != nil {
+			t.onDelivery()
+		}
+	})
+	return m
+}
+
+// Topic is a FIFO queue with single-consumer pull semantics.
+type Topic struct {
+	name  string
+	bus   *Bus
+	queue []*Message
+
+	onDelivery func()
+
+	// Counters.
+	Delivered int
+	Pulled    int
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Len returns the number of pullable messages.
+func (t *Topic) Len() int { return len(t.queue) }
+
+// OnDelivery registers a single callback invoked after each delivery
+// (used by invokers to wake their dispatch loop promptly).
+func (t *Topic) OnDelivery(fn func()) { t.onDelivery = fn }
+
+// Pull removes and returns up to max messages from the head.
+func (t *Topic) Pull(max int) []*Message {
+	if max <= 0 || len(t.queue) == 0 {
+		return nil
+	}
+	n := max
+	if n > len(t.queue) {
+		n = len(t.queue)
+	}
+	out := make([]*Message, n)
+	copy(out, t.queue[:n])
+	copy(t.queue, t.queue[n:])
+	for i := len(t.queue) - n; i < len(t.queue); i++ {
+		t.queue[i] = nil
+	}
+	t.queue = t.queue[:len(t.queue)-n]
+	t.Pulled += n
+	return out
+}
+
+// MoveAll transfers every queued message to another topic immediately
+// (the controller-side hand-off of §III-C). It returns the count moved.
+func (t *Topic) MoveAll(to *Topic) int {
+	n := len(t.queue)
+	for _, m := range t.queue {
+		m.Moves++
+		m.TopicName = to.name
+		to.queue = append(to.queue, m)
+	}
+	t.queue = t.queue[:0]
+	t.bus.Moved += n
+	if n > 0 && to.onDelivery != nil {
+		to.onDelivery()
+	}
+	return n
+}
+
+// Requeue places messages at the tail of the topic immediately (an
+// invoker flushing its internal buffer to the fast lane).
+func (t *Topic) Requeue(msgs []*Message) {
+	for _, m := range msgs {
+		m.Moves++
+		m.TopicName = t.name
+		t.queue = append(t.queue, m)
+	}
+	if len(msgs) > 0 && t.onDelivery != nil {
+		t.onDelivery()
+	}
+}
+
+// Delete removes the topic from the bus (its queue must be empty;
+// callers move messages first). Publishing to the name recreates it.
+func (t *Topic) Delete() {
+	if len(t.queue) > 0 {
+		panic("bus: deleting non-empty topic " + t.name)
+	}
+	delete(t.bus.topics, t.name)
+}
+
+// TimeInQueue reports how long a message has been waiting, given now.
+func (m *Message) TimeInQueue(now des.Time) time.Duration { return now - m.Delivered }

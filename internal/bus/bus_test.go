@@ -1,0 +1,205 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/dist"
+)
+
+func newBus() (*des.Sim, *Bus) {
+	sim := des.New()
+	return sim, New(sim, dist.Constant{Value: 0.01}, 1)
+}
+
+func TestPublishDeliversAfterLatency(t *testing.T) {
+	sim, b := newBus()
+	b.Publish("t", "hello")
+	if b.Topic("t").Len() != 0 {
+		t.Fatal("message visible before delivery latency")
+	}
+	sim.RunUntil(20 * time.Millisecond)
+	if b.Topic("t").Len() != 1 {
+		t.Fatal("message not delivered")
+	}
+	msgs := b.Topic("t").Pull(10)
+	if len(msgs) != 1 || msgs[0].Payload != "hello" {
+		t.Fatalf("pulled %v", msgs)
+	}
+	if msgs[0].Delivered != 10*time.Millisecond {
+		t.Errorf("delivered at %v, want 10ms", msgs[0].Delivered)
+	}
+}
+
+func TestPullFIFOAndPartial(t *testing.T) {
+	sim, b := newBus()
+	for i := 0; i < 5; i++ {
+		b.Publish("t", i)
+	}
+	sim.Run()
+	first := b.Topic("t").Pull(2)
+	if len(first) != 2 || first[0].Payload != 0 || first[1].Payload != 1 {
+		t.Fatalf("first pull = %v", first)
+	}
+	rest := b.Topic("t").Pull(10)
+	if len(rest) != 3 || rest[0].Payload != 2 {
+		t.Fatalf("rest pull = %v", rest)
+	}
+	if b.Topic("t").Pull(1) != nil {
+		t.Error("pull from empty topic should be nil")
+	}
+}
+
+func TestMoveAllToFastLane(t *testing.T) {
+	sim, b := newBus()
+	for i := 0; i < 3; i++ {
+		b.Publish("invoker0", i)
+	}
+	sim.Run()
+	moved := b.Topic("invoker0").MoveAll(b.Topic("fastlane"))
+	if moved != 3 {
+		t.Fatalf("moved = %d, want 3", moved)
+	}
+	if b.Topic("invoker0").Len() != 0 {
+		t.Error("source topic not emptied")
+	}
+	msgs := b.Topic("fastlane").Pull(10)
+	if len(msgs) != 3 {
+		t.Fatalf("fast lane has %d messages", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Payload != i {
+			t.Errorf("order broken: %v at %d", m.Payload, i)
+		}
+		if m.Moves != 1 || m.TopicName != "fastlane" {
+			t.Errorf("move bookkeeping: moves=%d topic=%s", m.Moves, m.TopicName)
+		}
+	}
+}
+
+func TestRequeuePreservesOrderAtTail(t *testing.T) {
+	sim, b := newBus()
+	b.Publish("fl", "a")
+	sim.Run()
+	held := b.Topic("fl").Pull(1)
+	b.Publish("fl", "b")
+	sim.Run()
+	b.Topic("fl").Requeue(held)
+	msgs := b.Topic("fl").Pull(10)
+	if len(msgs) != 2 || msgs[0].Payload != "b" || msgs[1].Payload != "a" {
+		t.Fatalf("requeue order = %v", msgs)
+	}
+}
+
+func TestOnDeliveryCallback(t *testing.T) {
+	sim, b := newBus()
+	calls := 0
+	b.Topic("t").OnDelivery(func() { calls++ })
+	b.Publish("t", 1)
+	b.Publish("t", 2)
+	sim.Run()
+	if calls != 2 {
+		t.Errorf("delivery callbacks = %d, want 2", calls)
+	}
+	// MoveAll and Requeue also wake the target.
+	b.Topic("src").Requeue([]*Message{{}})
+	b.Topic("src").MoveAll(b.Topic("t"))
+	if calls != 3 {
+		t.Errorf("callbacks after move = %d, want 3", calls)
+	}
+}
+
+func TestDeleteEmptyTopic(t *testing.T) {
+	sim, b := newBus()
+	b.Publish("t", 1)
+	sim.Run()
+	b.Topic("t").Pull(1)
+	b.Topic("t").Delete()
+	// Publishing again recreates the topic.
+	b.Publish("t", 2)
+	sim.Run()
+	if b.Topic("t").Len() != 1 {
+		t.Error("topic not recreated")
+	}
+}
+
+func TestDeleteNonEmptyPanics(t *testing.T) {
+	sim, b := newBus()
+	b.Publish("t", 1)
+	sim.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("deleting non-empty topic should panic")
+		}
+	}()
+	b.Topic("t").Delete()
+}
+
+func TestCounters(t *testing.T) {
+	sim, b := newBus()
+	for i := 0; i < 4; i++ {
+		b.Publish("t", i)
+	}
+	sim.Run()
+	b.Topic("t").Pull(2)
+	b.Topic("t").MoveAll(b.Topic("u"))
+	if b.Published != 4 {
+		t.Errorf("published = %d", b.Published)
+	}
+	if b.Topic("t").Delivered != 4 || b.Topic("t").Pulled != 2 {
+		t.Errorf("topic counters = %d/%d", b.Topic("t").Delivered, b.Topic("t").Pulled)
+	}
+	if b.Moved != 2 {
+		t.Errorf("moved = %d", b.Moved)
+	}
+}
+
+func TestTimeInQueue(t *testing.T) {
+	sim, b := newBus()
+	b.Publish("t", 1)
+	sim.Run()
+	m := b.Topic("t").Pull(1)[0]
+	if got := m.TimeInQueue(110 * time.Millisecond); got != 100*time.Millisecond {
+		t.Errorf("time in queue = %v, want 100ms", got)
+	}
+}
+
+// Property: no message is ever lost or duplicated across random
+// publish/pull/move sequences.
+func TestPropertyConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		sim, b := newBus()
+		topics := []string{"a", "b", "c"}
+		published, consumed := 0, 0
+		for _, op := range ops {
+			from := topics[int(op)%3]
+			to := topics[int(op/3)%3]
+			switch op % 4 {
+			case 0:
+				b.Publish(from, int(op))
+				published++
+			case 1:
+				sim.RunFor(time.Second)
+				consumed += len(b.Topic(from).Pull(int(op%5) + 1))
+			case 2:
+				sim.RunFor(time.Second)
+				if from != to {
+					b.Topic(from).MoveAll(b.Topic(to))
+				}
+			case 3:
+				sim.RunFor(50 * time.Millisecond)
+			}
+		}
+		sim.Run()
+		inQueues := 0
+		for _, name := range topics {
+			inQueues += b.Topic(name).Len()
+		}
+		return published == consumed+inQueues
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package core implements the primary contribution of the paper: the
+// HPC-Whisk layer that turns transient idle HPC nodes into OpenWhisk
+// workers. It contains the pilot-job manager with the fib and var
+// supply models (§III-D), the invoker lifecycle (warm-up → register →
+// healthy → SIGTERM hand-off → deregister, §III-C), the client-side
+// fallback wrapper of Alg. 1 (§III-E), and the monitoring perspectives
+// used by the paper's evaluation (§IV-A).
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/dist"
+	"repro/internal/slurm"
+	"repro/internal/stats"
+	"repro/internal/whisk"
+)
+
+// Mode selects the pilot-job supply model of §III-D.
+type Mode uint8
+
+// Supply models: ModeFib submits bags of fixed-length jobs with greedy
+// length-proportional priorities; ModeVar submits flexible jobs whose
+// length Slurm decides between --time-min and --time.
+const (
+	ModeFib Mode = iota
+	ModeVar
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeVar {
+		return "var"
+	}
+	return "fib"
+}
+
+// SetA1 is the job-length set the paper selected for the fib model
+// (Table I, set A1).
+var SetA1 = Minutes(2, 4, 6, 8, 14, 22, 34, 56, 90)
+
+// Minutes builds a duration slice from minute values.
+func Minutes(ms ...int) []time.Duration {
+	out := make([]time.Duration, len(ms))
+	for i, m := range ms {
+		out[i] = time.Duration(m) * time.Minute
+	}
+	return out
+}
+
+// ManagerConfig parameterizes the HPC-Whisk job manager.
+type ManagerConfig struct {
+	Mode Mode
+
+	// Partition is the tier-0 Slurm partition pilots are submitted to.
+	Partition string
+
+	// FibLengths and FibDepth: keep FibDepth queued jobs of each length
+	// (the paper keeps 10 of each of the 9 A1 lengths).
+	FibLengths []time.Duration
+	FibDepth   int
+
+	// VarDepth, VarMin, VarMax: keep VarDepth queued flexible jobs with
+	// --time-min=VarMin and --time=VarMax (the paper keeps 100 jobs of
+	// 2 min–2 h).
+	VarDepth int
+	VarMin   time.Duration
+	VarMax   time.Duration
+
+	// Replenish is the queue top-up period (15 s in the paper).
+	Replenish time.Duration
+
+	// WarmupSeconds is the invoker boot-to-healthy time distribution
+	// (§IV-B: median 12.48 s, p95 26.5 s).
+	WarmupSeconds dist.Dist
+
+	// GracefulHandoff enables the §III-C hand-off; disabling it is the
+	// unmodified-OpenWhisk ablation where SIGTERM just kills the worker.
+	GracefulHandoff bool
+
+	// InterruptRunning enables interrupting in-flight executions of
+	// interrupt-safe actions during hand-off.
+	InterruptRunning bool
+
+	// DrainExitDelay is the local cleanup time between finishing the
+	// hand-off and the pilot job exiting.
+	DrainExitDelay time.Duration
+
+	Invoker whisk.InvokerConfig
+	Seed    int64
+}
+
+// DefaultManagerConfig returns the paper's configuration for a mode.
+func DefaultManagerConfig(mode Mode) ManagerConfig {
+	return ManagerConfig{
+		Mode:             mode,
+		Partition:        "whisk",
+		FibLengths:       append([]time.Duration(nil), SetA1...),
+		FibDepth:         10,
+		VarDepth:         100,
+		VarMin:           2 * time.Minute,
+		VarMax:           120 * time.Minute,
+		Replenish:        15 * time.Second,
+		WarmupSeconds:    dist.WarmupSeconds(),
+		GracefulHandoff:  true,
+		InterruptRunning: true,
+		DrainExitDelay:   2 * time.Second,
+		Invoker:          whisk.DefaultInvokerConfig(),
+		Seed:             1,
+	}
+}
+
+// pilotPhase tracks where a pilot job is in the invoker lifecycle.
+type pilotPhase uint8
+
+const (
+	phaseWarming pilotPhase = iota
+	phaseHealthy
+	phaseDraining
+	phaseDone
+)
+
+type pilot struct {
+	job       *slurm.Job
+	phase     pilotPhase
+	invoker   *whisk.Invoker
+	warmupEv  *des.Event
+	healthyAt des.Time
+}
+
+// PilotManager is the external job manager of §III-D: it keeps the
+// Slurm queue stocked with preemptible tier-0 pilot jobs and runs each
+// started pilot through the invoker lifecycle against the controller.
+type PilotManager struct {
+	sim  *des.Sim
+	emu  *slurm.Emulator
+	ctrl *whisk.Controller
+	cfg  ManagerConfig
+	rng  *rand.Rand
+
+	pilots map[*slurm.Job]*pilot
+	ticker *des.Ticker
+
+	// States tracks the OpenWhisk-level worker-state shares of
+	// Tables II/III (warming / healthy / irresponsive counts over time).
+	States *WorkerStates
+
+	// ReadySpans samples, in seconds, how long each invoker stayed
+	// healthy (the paper: fib mean >23 min, var mean >14 min).
+	ReadySpans stats.Sample
+
+	// Counters.
+	Submitted        int
+	PilotsStarted    int
+	Registered       int
+	Handoffs         int
+	KilledInWarmup   int
+	KilledUngraceful int
+}
+
+// NewPilotManager wires a manager to a Slurm emulator and controller.
+func NewPilotManager(emu *slurm.Emulator, ctrl *whisk.Controller, cfg ManagerConfig) *PilotManager {
+	if len(cfg.FibLengths) == 0 && cfg.Mode == ModeFib {
+		panic("core: fib manager needs job lengths")
+	}
+	return &PilotManager{
+		sim:    emu.Sim(),
+		emu:    emu,
+		ctrl:   ctrl,
+		cfg:    cfg,
+		rng:    dist.NewRand(cfg.Seed),
+		pilots: map[*slurm.Job]*pilot{},
+		States: NewWorkerStates(),
+	}
+}
+
+// Start begins the replenishment loop (first top-up immediately).
+func (m *PilotManager) Start() {
+	if m.ticker != nil {
+		return
+	}
+	m.replenish()
+	m.ticker = m.sim.Every(m.cfg.Replenish, m.replenish)
+}
+
+// Stop halts replenishment (queued jobs stay queued).
+func (m *PilotManager) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+		m.ticker = nil
+	}
+}
+
+// replenish tops the Slurm queue up to the configured depth, creating
+// new jobs only to replace ones that started (§III-D).
+func (m *PilotManager) replenish() {
+	switch m.cfg.Mode {
+	case ModeFib:
+		byLimit := m.emu.QueuedPilotsByLimit()
+		for _, l := range m.cfg.FibLengths {
+			for byLimit[l] < m.cfg.FibDepth {
+				m.submitFib(l)
+				byLimit[l]++
+			}
+		}
+	case ModeVar:
+		for m.emu.QueuedPilots() < m.cfg.VarDepth {
+			m.submitVar()
+		}
+	}
+}
+
+func (m *PilotManager) submitFib(l time.Duration) {
+	m.Submitted++
+	m.emu.Submit(slurm.JobSpec{
+		Name:      "hpcwhisk-fib",
+		Partition: m.cfg.Partition,
+		Nodes:     1,
+		TimeLimit: l,
+		Priority:  int64(l / time.Minute),
+		OnStart:   m.onPilotStart,
+		OnSigterm: m.onSigterm,
+		OnEnd:     m.onEnd,
+	})
+}
+
+func (m *PilotManager) submitVar() {
+	m.Submitted++
+	m.emu.Submit(slurm.JobSpec{
+		Name:      "hpcwhisk-var",
+		Partition: m.cfg.Partition,
+		Nodes:     1,
+		TimeMin:   m.cfg.VarMin,
+		TimeLimit: m.cfg.VarMax,
+		OnStart:   m.onPilotStart,
+		OnSigterm: m.onSigterm,
+		OnEnd:     m.onEnd,
+	})
+}
+
+// onPilotStart boots the OpenWhisk invoker inside the pilot job: after
+// the warm-up time it registers with the controller and turns healthy.
+func (m *PilotManager) onPilotStart(j *slurm.Job) {
+	m.PilotsStarted++
+	p := &pilot{job: j, phase: phaseWarming}
+	m.pilots[j] = p
+	m.States.Add(m.sim.Now(), phaseWarming)
+	warmup := dist.Seconds(m.cfg.WarmupSeconds, m.rng)
+	p.warmupEv = m.sim.After(warmup, func() {
+		p.warmupEv = nil
+		if j.State != slurm.Running {
+			return
+		}
+		inv := whisk.NewInvoker(m.cfg.Invoker, m.rng.Int63())
+		m.ctrl.Register(inv)
+		p.invoker = inv
+		p.healthyAt = m.sim.Now()
+		m.Registered++
+		m.States.Move(m.sim.Now(), phaseWarming, phaseHealthy)
+		p.phase = phaseHealthy
+	})
+}
+
+// onSigterm runs the §III-C hand-off (or the ablation's hard kill).
+func (m *PilotManager) onSigterm(j *slurm.Job, at des.Time) {
+	p := m.pilots[j]
+	if p == nil {
+		return
+	}
+	switch p.phase {
+	case phaseWarming:
+		// Never registered: nothing to hand off; exit immediately.
+		if p.warmupEv != nil {
+			p.warmupEv.Stop()
+			p.warmupEv = nil
+		}
+		m.KilledInWarmup++
+		m.finishPilot(p, at)
+		m.sim.After(time.Second, j.Exit)
+	case phaseHealthy:
+		if !m.cfg.GracefulHandoff {
+			m.KilledUngraceful++
+			p.invoker.Kill()
+			m.finishPilot(p, at)
+			m.sim.After(time.Second, j.Exit)
+			return
+		}
+		p.phase = phaseDraining
+		m.States.Move(at, phaseHealthy, phaseDraining)
+		m.ReadySpans.AddDuration(at - p.healthyAt)
+		m.Handoffs++
+		p.invoker.Sigterm(m.cfg.InterruptRunning, func() {
+			m.sim.After(m.cfg.DrainExitDelay, func() {
+				if p.phase == phaseDraining {
+					m.finishPilot(p, m.sim.Now())
+				}
+				j.Exit()
+			})
+		})
+	}
+}
+
+// onEnd covers every exit path, including SIGKILL before the drain
+// completed (the invoker is lost with whatever it still held).
+func (m *PilotManager) onEnd(j *slurm.Job, reason slurm.EndReason) {
+	p := m.pilots[j]
+	if p == nil {
+		return
+	}
+	delete(m.pilots, j)
+	if p.phase == phaseDone || reason == slurm.ReasonCancelled {
+		return
+	}
+	if p.warmupEv != nil {
+		p.warmupEv.Stop()
+		p.warmupEv = nil
+	}
+	if p.invoker != nil && p.invoker.State() != whisk.InvokerGone {
+		if p.phase == phaseHealthy {
+			m.ReadySpans.AddDuration(m.sim.Now() - p.healthyAt)
+		}
+		p.invoker.Kill()
+	}
+	m.finishPilot(p, m.sim.Now())
+}
+
+func (m *PilotManager) finishPilot(p *pilot, at des.Time) {
+	if p.phase == phaseDone {
+		return
+	}
+	m.States.Remove(at, p.phase)
+	p.phase = phaseDone
+}
+
+// ActivePilots returns how many pilots are currently tracked.
+func (m *PilotManager) ActivePilots() int { return len(m.pilots) }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/dist"
+	"repro/internal/slurm"
+	"repro/internal/whisk"
+	"repro/internal/workload"
+)
+
+// SystemConfig wires a complete HPC-Whisk deployment: cluster size,
+// Slurm parameters, OpenWhisk controller model, and the pilot manager.
+type SystemConfig struct {
+	Nodes      int
+	Slurm      slurm.Config
+	Controller whisk.ControllerConfig
+	Manager    ManagerConfig
+	BusLatency dist.Dist
+	Seed       int64
+}
+
+// DefaultSystemConfig returns a deployment matching the paper's setup
+// for the given cluster size and supply mode.
+func DefaultSystemConfig(nodes int, mode Mode) SystemConfig {
+	return SystemConfig{
+		Nodes:      nodes,
+		Slurm:      slurm.DefaultConfig(),
+		Controller: whisk.DefaultControllerConfig(),
+		Manager:    DefaultManagerConfig(mode),
+		Seed:       1,
+	}
+}
+
+// System is a fully wired HPC-Whisk deployment on the simulation plane.
+type System struct {
+	Sim     *des.Sim
+	Bus     *bus.Bus
+	Ctrl    *whisk.Controller
+	Slurm   *slurm.Emulator
+	Manager *PilotManager
+	Logger  *SlurmLogger
+}
+
+// NewSystem builds the deployment: a tier-0 "whisk" partition for the
+// pilots, a tier-1 "hpc" partition for prime jobs, the off-cluster
+// controller, and the job manager.
+func NewSystem(cfg SystemConfig) *System {
+	sim := des.New()
+	b := bus.New(sim, cfg.BusLatency, cfg.Seed+1)
+	ctrl := whisk.NewController(sim, b, cfg.Controller, cfg.Seed+2)
+	emu := slurm.New(sim, cfg.Nodes, cfg.Slurm)
+	emu.AddPartition(slurm.Partition{Name: cfg.Manager.Partition, PriorityTier: 0})
+	emu.AddPartition(slurm.Partition{Name: "hpc", PriorityTier: 1})
+	mcfg := cfg.Manager
+	mcfg.Seed = cfg.Seed + 3
+	mgr := NewPilotManager(emu, ctrl, mcfg)
+	return &System{
+		Sim:     sim,
+		Bus:     b,
+		Ctrl:    ctrl,
+		Slurm:   emu,
+		Manager: mgr,
+		Logger:  NewSlurmLogger(emu, cfg.Seed+4),
+	}
+}
+
+// LoadTrace drives the cluster with an exogenous availability trace.
+func (s *System) LoadTrace(tr *workload.Trace) { s.Slurm.DriveTrace(tr) }
+
+// Start launches the manager, the scheduler, and the Slurm-level
+// logger.
+func (s *System) Start() {
+	s.Manager.Start()
+	s.Slurm.Start()
+	s.Logger.Start()
+}
+
+// Run advances the simulation by d.
+func (s *System) Run(d time.Duration) { s.Sim.RunFor(d) }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/whisk"
+)
+
+// Backend issues function invocations; whisk.Controller and the
+// commercial-cloud model of internal/lambda both implement it.
+type Backend interface {
+	Invoke(action string, done func(*whisk.Invocation)) *whisk.Invocation
+}
+
+// Wrapper is the client-side fallback of Alg. 1 (§III-E): calls go to
+// the HPC-Whisk deployment unless it returned 503 within the cooldown
+// window, in which case they go to a commercial FaaS service. A 503
+// from the primary marks the window and retries through the wrapper
+// (landing on the fallback), so callers never see the 503.
+type Wrapper struct {
+	sim      *des.Sim
+	primary  Backend
+	fallback Backend
+
+	// Cooldown is how long after a 503 calls keep off-loading (60 s in
+	// Alg. 1).
+	Cooldown time.Duration
+
+	has503  bool
+	last503 des.Time
+
+	// Counters.
+	PrimaryCalls  int
+	FallbackCalls int
+	Retries       int
+}
+
+// NewWrapper builds the Alg. 1 wrapper. fallback may be nil, in which
+// case 503s surface to the caller unchanged (retries disabled).
+func NewWrapper(sim *des.Sim, primary, fallback Backend) *Wrapper {
+	return &Wrapper{sim: sim, primary: primary, fallback: fallback, Cooldown: time.Minute}
+}
+
+// Invoke implements Alg. 1.
+func (w *Wrapper) Invoke(action string, done func(*whisk.Invocation)) {
+	now := w.sim.Now()
+	if w.fallback != nil && w.has503 && now-w.last503 <= w.Cooldown {
+		w.FallbackCalls++
+		w.fallback.Invoke(action, done)
+		return
+	}
+	w.PrimaryCalls++
+	w.primary.Invoke(action, func(inv *whisk.Invocation) {
+		if inv.Status == whisk.Status503 && w.fallback != nil {
+			w.has503 = true
+			w.last503 = w.sim.Now()
+			w.Retries++
+			w.Invoke(action, done)
+			return
+		}
+		if done != nil {
+			done(inv)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package des provides a deterministic discrete-event simulation kernel.
+//
+// All HPC-Whisk components (the Slurm emulator, the OpenWhisk emulation,
+// the message bus, workload generators and load generators) are actors on
+// a single virtual clock owned by a Sim. Events scheduled for the same
+// instant execute in scheduling order, so a run is reproducible
+// bit-for-bit given fixed inputs and seeds.
+//
+// The zero value of Sim is ready to use; its clock starts at instant 0.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant on the virtual clock, expressed as the offset
+// from the simulation epoch (instant 0). It aliases time.Duration so that
+// ordinary duration arithmetic applies.
+type Time = time.Duration
+
+// Event is a scheduled callback. It is returned by Schedule and After so
+// the caller can cancel it with Stop before it fires.
+type Event struct {
+	sim   *Sim
+	when  Time
+	seq   uint64
+	fn    func()
+	index int // position in the heap, -1 once fired or stopped
+}
+
+// When reports the instant the event is (or was) scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Stop cancels the event. It reports whether the event was still pending;
+// stopping an already-fired or already-stopped event is a no-op.
+func (e *Event) Stop() bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&e.sim.events, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation: a virtual clock plus a queue of
+// pending events. Sim is not safe for concurrent use; the simulation
+// executes in a single goroutine by design (determinism is the point).
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+}
+
+// New returns an empty simulation with its clock at instant 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual instant.
+func (s *Sim) Now() Time { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Schedule queues fn to run at instant at. Scheduling in the past panics:
+// a component that does so holds a stale view of the clock, which is a bug.
+func (s *Sim) Schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	e := &Event{sim: s, when: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After queues fn to run d from now. A negative d panics.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// instant. It reports whether an event was fired.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*Event)
+	s.now = e.when
+	fn := e.fn
+	e.fn = nil
+	fn()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires every event scheduled at or before end, then advances the
+// clock to end (even if the queue drained earlier or is still non-empty).
+func (s *Sim) RunUntil(end Time) {
+	if end < s.now {
+		panic(fmt.Sprintf("des: run until %v before now %v", end, s.now))
+	}
+	for len(s.events) > 0 && s.events[0].when <= end {
+		s.Step()
+	}
+	s.now = end
+}
+
+// RunFor advances the simulation by d, firing every event in that window.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Ticker fires a callback at a fixed interval until stopped.
+type Ticker struct {
+	sim      *Sim
+	interval time.Duration
+	fn       func()
+	next     *Event
+	stopped  bool
+}
+
+// Every schedules fn to run every interval, first at now+interval.
+// It panics if interval is not positive.
+func (s *Sim) Every(interval time.Duration, fn func()) *Ticker {
+	return s.EveryFrom(s.now+interval, interval, fn)
+}
+
+// EveryFrom schedules fn to run every interval, first at instant first.
+// It panics if interval is not positive.
+func (s *Sim) EveryFrom(first Time, interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("des: non-positive ticker interval")
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.next = s.Schedule(first, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped the ticker
+		t.next = t.sim.After(t.interval, t.tick)
+	}
+}
+
+// Stop cancels the ticker. Stopping twice is a no-op.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.next.Stop()
+}

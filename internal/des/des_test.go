@@ -1,0 +1,296 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdersByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentNow(t *testing.T) {
+	s := New()
+	var fired Time
+	s.Schedule(5*time.Second, func() {
+		s.After(2*time.Second, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 7*time.Second {
+		t.Errorf("nested After fired at %v, want 7s", fired)
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(time.Second, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !e.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if e.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped event fired")
+	}
+}
+
+func TestStopMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	events := make([]*Event, 0, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		events = append(events, s.Schedule(Time(i+1)*Time(time.Second), func() { got = append(got, i) }))
+	}
+	events[2].Stop()
+	s.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStopAfterFiredIsNoop(t *testing.T) {
+	s := New()
+	e := s.Schedule(time.Second, func() {})
+	s.Run()
+	if e.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1*time.Second, func() { fired++ })
+	s.Schedule(10*time.Second, func() { fired++ })
+	s.RunUntil(5 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	s.RunUntil(10 * time.Second)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(5*time.Second, func() { fired = true })
+	s.RunUntil(5 * time.Second)
+	if !fired {
+		t.Error("event at the boundary instant should fire")
+	}
+}
+
+func TestRunForAccumulates(t *testing.T) {
+	s := New()
+	s.RunFor(2 * time.Second)
+	s.RunFor(3 * time.Second)
+	if s.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", s.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.RunUntil(10 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	s.Schedule(5*time.Second, func() {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback should panic")
+		}
+	}()
+	s.Schedule(time.Second, nil)
+}
+
+func TestTickerFiresAtInterval(t *testing.T) {
+	s := New()
+	var at []Time
+	tk := s.Every(time.Minute, func() { at = append(at, s.Now()) })
+	s.RunUntil(5*time.Minute + 30*time.Second)
+	tk.Stop()
+	if len(at) != 5 {
+		t.Fatalf("ticker fired %d times, want 5", len(at))
+	}
+	for i, want := 0, time.Minute; i < 5; i, want = i+1, want+time.Minute {
+		if at[i] != want {
+			t.Errorf("tick %d at %v, want %v", i, at[i], want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New()
+	n := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if n != 3 {
+		t.Errorf("ticker fired %d times after Stop inside callback, want 3", n)
+	}
+}
+
+func TestTickerStopTwice(t *testing.T) {
+	s := New()
+	tk := s.Every(time.Second, func() {})
+	tk.Stop()
+	tk.Stop() // must not panic
+}
+
+func TestEveryFromFirstInstant(t *testing.T) {
+	s := New()
+	var first Time = -1
+	tk := s.EveryFrom(10*time.Second, time.Minute, func() {
+		if first < 0 {
+			first = s.Now()
+		}
+	})
+	s.RunUntil(2 * time.Minute)
+	tk.Stop()
+	if first != 10*time.Second {
+		t.Errorf("first tick at %v, want 10s", first)
+	}
+}
+
+func TestEventsDuringStepSeeAdvancedClock(t *testing.T) {
+	s := New()
+	var seen Time
+	s.Schedule(42*time.Second, func() { seen = s.Now() })
+	s.Run()
+	if seen != 42*time.Second {
+		t.Errorf("callback saw Now = %v, want 42s", seen)
+	}
+}
+
+// Property: for any set of event offsets, events fire in nondecreasing time
+// order and the clock never goes backwards.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off) * Time(time.Millisecond)
+			s.Schedule(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		sorted := make([]Time, len(fired))
+		copy(sorted, fired)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: randomly stopping a subset of events fires exactly the others.
+func TestPropertyStopSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		s := New()
+		n := 1 + rng.Intn(50)
+		fired := make([]bool, n)
+		events := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			i := i
+			events[i] = s.Schedule(Time(rng.Intn(1000))*Time(time.Millisecond), func() { fired[i] = true })
+		}
+		stopped := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				events[i].Stop()
+				stopped[i] = true
+			}
+		}
+		s.Run()
+		for i := 0; i < n; i++ {
+			if fired[i] == stopped[i] {
+				t.Fatalf("trial %d: event %d fired=%v stopped=%v", trial, i, fired[i], stopped[i])
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.Schedule(Time(j)*Time(time.Millisecond), func() {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// AblationVariant is one configuration of the hand-off machinery.
+type AblationVariant struct {
+	Name             string
+	GracefulHandoff  bool
+	InterruptRunning bool
+}
+
+// AblationVariants returns the three design points DESIGN.md calls out:
+// the full §III-C protocol, the protocol without mid-execution
+// interruption, and the unmodified-OpenWhisk baseline where a departing
+// worker is simply killed.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "handoff+interrupt", GracefulHandoff: true, InterruptRunning: true},
+		{Name: "handoff-only", GracefulHandoff: true, InterruptRunning: false},
+		{Name: "no-handoff", GracefulHandoff: false, InterruptRunning: false},
+	}
+}
+
+// AblationRow is one variant's responsiveness outcome.
+type AblationRow struct {
+	Variant AblationVariant
+	Load    loadgen.Report
+	// LostShare duplicated for quick reading: the share of accepted
+	// requests that never completed.
+	LostShare float64
+	Handoffs  int
+	Preempted int
+}
+
+// AblationResult compares the hand-off design points.
+type AblationResult struct {
+	Rows    []AblationRow
+	Horizon time.Duration
+}
+
+// RunAblation runs a smaller cluster slice (for tractable bench times)
+// through each variant with identical trace and load seeds, isolating
+// the hand-off machinery's effect on lost requests.
+func RunAblation(nodes int, horizon time.Duration, seed int64) AblationResult {
+	res := AblationResult{Horizon: horizon}
+	for _, v := range AblationVariants() {
+		cfg := FibDay(seed)
+		cfg.Nodes = nodes
+		cfg.Horizon = horizon
+		cfg.MeanIdleNodes = 6
+		cfg.SaturatedFraction = 0.02
+		cfg.QPS = 5
+		cfg.NumActions = 50
+		cfg.SleepExec = 500 * time.Millisecond // long enough to sit in queues
+		cfg.GracefulHandoff = v.GracefulHandoff
+		cfg.InterruptRunning = v.InterruptRunning
+		day := RunDay(cfg)
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:   v,
+			Load:      day.Load,
+			LostShare: day.Load.LostShare,
+			Handoffs:  day.Handoffs,
+			Preempted: day.Preempted,
+		})
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r AblationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation — hand-off design points over %v\n", r.Horizon)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-18s lost=%.2f%% success=%.2f%% handoffs=%d preempted=%d\n",
+			row.Variant.Name, 100*row.LostShare, 100*row.Load.SuccessShare,
+			row.Handoffs, row.Preempted)
+	}
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/dist"
+	"repro/internal/loadgen"
+	"repro/internal/stats"
+	"repro/internal/whisk"
+	"repro/internal/workload"
+)
+
+// DayConfig parameterizes a 24-hour production experiment (§V-A/B/C).
+// The fib and var runs of the paper happened on different working days
+// with visibly different idle surfaces (11.85 vs 7.38 available nodes
+// on average; 0.6% vs 9.44% zero-available states), so the trace
+// calibration is per-day.
+type DayConfig struct {
+	Mode    core.Mode
+	Nodes   int
+	Horizon time.Duration
+	Seed    int64
+
+	// Trace calibration for the day.
+	MeanIdleNodes     float64
+	SaturatedFraction float64
+
+	// Regime structure and calm-tail weight of the day. The fib day was
+	// calm (long windows: invoker ready spans averaged 23 min); the var
+	// day was contended (9.44%% zero-available states). With the heavy
+	// Pareto tails, horizon truncation eats ~20%% of the target mean, so
+	// the day targets sit above the measured averages they reproduce.
+	ContendedMean time.Duration
+	CalmMean      time.Duration
+	CalmTailP     float64
+	CalmAlpha     float64
+
+	// LongSaturations mixes occasional 20-90 minute full-cluster
+	// saturations into the day (the var day had an 85-minute stretch
+	// with no invoker, §V-B2).
+	LongSaturations bool
+
+	// Load generation (§V-C): QPS over NumActions sleep functions of
+	// SleepExec each. Zero QPS disables the responsiveness experiment.
+	QPS        float64
+	NumActions int
+	SleepExec  time.Duration
+
+	// GracefulHandoff / InterruptRunning expose the §III-C machinery
+	// for ablations.
+	GracefulHandoff  bool
+	InterruptRunning bool
+}
+
+// FibDay returns the March 17th, 2022 configuration (§V-B1).
+func FibDay(seed int64) DayConfig {
+	return DayConfig{
+		Mode:              core.ModeFib,
+		Nodes:             PrometheusNodes,
+		Horizon:           24 * time.Hour,
+		Seed:              seed,
+		MeanIdleNodes:     14.4, // realizes ≈11.85 after truncation
+		SaturatedFraction: 0.006,
+		ContendedMean:     time.Hour,
+		CalmMean:          4 * time.Hour,
+		CalmTailP:         0.45,
+		CalmAlpha:         1.65,
+		QPS:               10,
+		NumActions:        100,
+		SleepExec:         10 * time.Millisecond,
+		GracefulHandoff:   true,
+		InterruptRunning:  true,
+	}
+}
+
+// VarDay returns the March 21st, 2022 configuration (§V-B2).
+func VarDay(seed int64) DayConfig {
+	return DayConfig{
+		Mode:              core.ModeVar,
+		Nodes:             PrometheusNodes,
+		Horizon:           24 * time.Hour,
+		Seed:              seed,
+		MeanIdleNodes:     10.2, // realizes ≈7.4 after truncation
+		SaturatedFraction: 0.0944,
+		ContendedMean:     2 * time.Hour,
+		CalmMean:          2 * time.Hour,
+		CalmTailP:         0.38,
+		CalmAlpha:         1.7,
+		LongSaturations:   true,
+		QPS:               10,
+		NumActions:        100,
+		SleepExec:         10 * time.Millisecond,
+		GracefulHandoff:   true,
+		InterruptRunning:  true,
+	}
+}
+
+// DayResult bundles the three perspectives of Tables II/III plus the
+// Fig. 5b/6b responsiveness series.
+type DayResult struct {
+	Config DayConfig
+
+	// Simulation: the clairvoyant a-posteriori upper bound on the same
+	// trace (A1 lengths for fib, C2 for var).
+	Sim coverage.Result
+
+	// SlurmLevel: the 10-second poller's perspective.
+	SlurmLevel core.SlurmLevelStats
+
+	// OW: the OpenWhisk-level worker accounting.
+	OW core.OWLevelStats
+
+	// Load: the responsiveness report; Series are the per-minute
+	// outcome counts of Figs. 5b/6b.
+	Load   loadgen.Report
+	Series *stats.MinuteSeries
+
+	// The three worker-count panels of Figs. 5a/6a, per minute:
+	// clairvoyant simulation, Slurm-level poller, OpenWhisk-level.
+	SimReadyPerMinute []float64
+	SlurmPerMinute    []float64
+	HealthyPerMinute  []float64
+
+	// Emulator counters.
+	PilotsStarted int
+	Preempted     int
+	Handoffs      int
+}
+
+// Coverage returns the live Slurm-level coverage (used time share).
+func (r DayResult) Coverage() float64 { return r.SlurmLevel.ShareUsed }
+
+// TraceConfig builds the day's calibrated idle-process configuration
+// (shared with other experiments that reuse per-day calibrations).
+func (cfg DayConfig) TraceConfig() workload.IdleProcessConfig {
+	wl := workload.DefaultIdleProcess(cfg.Nodes, cfg.Horizon, cfg.Seed)
+	wl.MeanIdleNodes = cfg.MeanIdleNodes
+	wl.SaturatedFraction = cfg.SaturatedFraction
+	if cfg.ContendedMean > 0 {
+		wl.ContendedMean = cfg.ContendedMean
+	}
+	if cfg.CalmMean > 0 {
+		wl.CalmMean = cfg.CalmMean
+	}
+	if cfg.CalmTailP > 0 {
+		wl.CalmPeriod = dist.CalmIdlePeriodTail(cfg.CalmTailP, cfg.CalmAlpha)
+	}
+	if cfg.LongSaturations {
+		wl.SaturationSeconds = dist.NewMixture(
+			dist.Weighted{W: 0.92, D: wl.SaturationSeconds},
+			dist.Weighted{W: 0.08, D: dist.Uniform{Lo: 20 * 60, Hi: 90 * 60}},
+		)
+	}
+	return wl
+}
+
+// RunDay executes one full 24-hour experiment.
+func RunDay(cfg DayConfig) DayResult {
+	tr := cfg.TraceConfig().Generate()
+
+	sys := core.NewSystem(systemConfig(cfg))
+	sys.LoadTrace(tr)
+
+	var gen *loadgen.Generator
+	if cfg.QPS > 0 {
+		actions := loadgen.ActionNames("sleep", cfg.NumActions)
+		for _, name := range actions {
+			sys.Ctrl.RegisterAction(&whisk.Action{
+				Name:          name,
+				MemoryMB:      256,
+				Exec:          whisk.FixedExec(cfg.SleepExec),
+				Interruptible: true,
+			})
+		}
+		gen = loadgen.New(sys.Sim, loadgen.ForController(sys.Ctrl),
+			loadgen.Config{QPS: cfg.QPS, Actions: actions, Duration: cfg.Horizon, BucketLen: time.Minute})
+		gen.Start()
+	}
+
+	sys.Start()
+	sys.Run(cfg.Horizon)
+	// Let in-flight work drain past the horizon.
+	sys.Run(5 * time.Minute)
+
+	set := coverage.Set{Name: "A1", Lengths: core.SetA1}
+	if cfg.Mode == core.ModeVar {
+		set = coverage.TableISets()[5] // C2
+	}
+
+	res := DayResult{
+		Config:        cfg,
+		Sim:           coverage.Simulate(tr, set, coverage.DefaultConfig()),
+		SlurmLevel:    sys.Logger.Stats(),
+		OW:            sys.Manager.OWStats(sys.Sim.Now()),
+		PilotsStarted: sys.Manager.PilotsStarted,
+		Preempted:     sys.Slurm.Preempted,
+		Handoffs:      sys.Manager.Handoffs,
+	}
+	if gen != nil {
+		res.Load = gen.Report()
+		res.Series = gen.Series
+	}
+	res.SimReadyPerMinute = res.Sim.Ready.Buckets(time.Minute)
+	res.HealthyPerMinute = sys.Manager.States.Healthy.Buckets(time.Minute)
+	res.SlurmPerMinute = slurmPerMinute(sys.Logger.Entries, cfg.Horizon)
+	return res
+}
+
+// slurmPerMinute downsamples the poller's pilot counts into per-minute
+// averages (the middle panel of Figs. 5a/6a).
+func slurmPerMinute(entries []core.SlurmLogEntry, horizon time.Duration) []float64 {
+	n := int(horizon / time.Minute)
+	if n == 0 {
+		return nil
+	}
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, e := range entries {
+		i := int(e.At / time.Minute)
+		if i >= 0 && i < n {
+			sums[i] += float64(e.Pilot)
+			counts[i]++
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// RenderSeries prints the three worker-count panels of Figs. 5a/6a as
+// aligned per-minute columns.
+func (r DayResult) RenderSeries(w io.Writer) {
+	fmt.Fprintf(w, "Fig %sa — workers per minute (sim / slurm / ow-healthy)\n",
+		map[core.Mode]string{core.ModeFib: "5", core.ModeVar: "6"}[r.Config.Mode])
+	n := len(r.SimReadyPerMinute)
+	if len(r.SlurmPerMinute) < n {
+		n = len(r.SlurmPerMinute)
+	}
+	if len(r.HealthyPerMinute) < n {
+		n = len(r.HealthyPerMinute)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "  %5d  %6.1f %6.1f %6.1f\n", i,
+			r.SimReadyPerMinute[i], r.SlurmPerMinute[i], r.HealthyPerMinute[i])
+	}
+}
+
+func systemConfig(cfg DayConfig) core.SystemConfig {
+	sc := core.DefaultSystemConfig(cfg.Nodes, cfg.Mode)
+	sc.Seed = cfg.Seed + 1000
+	sc.Manager.GracefulHandoff = cfg.GracefulHandoff
+	sc.Manager.InterruptRunning = cfg.InterruptRunning
+	return sc
+}
+
+// Render prints the Table II/III layout plus the §V-C summary.
+func (r DayResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table %s — %s day (%d nodes, %v)\n",
+		map[core.Mode]string{core.ModeFib: "II", core.ModeVar: "III"}[r.Config.Mode],
+		r.Config.Mode, r.Config.Nodes, r.Config.Horizon)
+	fmt.Fprintf(w, "  %-22s %5s-%s-%-5s %6s   %-9s %-9s\n",
+		"perspective", "25p", "50p", "75p", "avg", "used", "not-used")
+	fmt.Fprintf(w, "  Simulation  warm-up   %5.0f %3.0f %5.0f %6.2f   %8.2f%% %8.2f%%\n",
+		0.0, 0.0, 0.0, r.Sim.ReadyAvg*r.Sim.ShareWarmup/maxF(r.Sim.ShareReady, 1e-9),
+		100*r.Sim.ShareWarmup, 100*r.Sim.ShareNotUsed)
+	fmt.Fprintf(w, "  Simulation  ready     %5.0f %3.0f %5.0f %6.2f   %8.2f%%\n",
+		r.Sim.ReadyP25, r.Sim.ReadyP50, r.Sim.ReadyP75, r.Sim.ReadyAvg, 100*r.Sim.ShareReady)
+	s := r.SlurmLevel
+	fmt.Fprintf(w, "  Slurm-level all       %5.0f %3.0f %5.0f %6.2f   %8.2f%% %8.2f%%\n",
+		s.WorkerP25, s.WorkerP50, s.WorkerP75, s.WorkerAvg, 100*s.ShareUsed, 100*s.ShareNotUsed)
+	o := r.OW
+	fmt.Fprintf(w, "  OW-level    warm-up   %19s %6.2f\n", "", o.WarmupAvg)
+	fmt.Fprintf(w, "  OW-level    healthy   %5.0f %3.0f %5.0f %6.2f\n",
+		o.HealthyP25, o.HealthyP50, o.HealthyP75, o.HealthyAvg)
+	fmt.Fprintf(w, "  OW-level    irresp.   %19s %6.2f\n", "", o.IrrespAvg)
+	fmt.Fprintf(w, "  available: avg %.2f / median %.0f; zero-available states %d; zero-worker states %d\n",
+		s.AvailableAvg, s.AvailableMedian, s.ZeroAvailableStates, s.ZeroWorkerStates)
+	fmt.Fprintf(w, "  coverage: live %.1f%% vs simulated upper bound %.1f%%\n",
+		100*s.ShareUsed, 100*r.Sim.Coverage())
+	fmt.Fprintf(w, "  no-invoker: total %v, longest %v; ready spans avg %v / median %v\n",
+		o.NoInvokerTotal.Round(time.Minute), o.NoInvokerLongest.Round(time.Minute),
+		o.ReadySpanAvg.Round(time.Minute), o.ReadySpanMedian.Round(time.Minute))
+	if r.Config.QPS > 0 {
+		fmt.Fprintf(w, "  responsiveness (Fig %sb): %s\n",
+			map[core.Mode]string{core.ModeFib: "5", core.ModeVar: "6"}[r.Config.Mode],
+			r.Load.String())
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

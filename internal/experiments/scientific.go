@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faasload"
+	"repro/internal/lambda"
+	"repro/internal/loadgen"
+	"repro/internal/stats"
+	"repro/internal/whisk"
+)
+
+// ScientificConfig parameterizes the paper's named future-work
+// experiment (§VII): HPC-Whisk under a representative scientific FaaS
+// workload — heterogeneous execution times calibrated to the Azure
+// Functions characterization, Zipf-skewed popularity, long-running
+// non-interruptible functions, and the Alg. 1 commercial fallback.
+type ScientificConfig struct {
+	Nodes     int
+	Horizon   time.Duration
+	Seed      int64
+	Functions int
+	QPS       float64
+	Mode      core.Mode
+
+	// UseWrapper routes calls through the Alg. 1 fallback so 503s are
+	// absorbed by the commercial cloud; false measures the raw cluster.
+	UseWrapper bool
+}
+
+// DefaultScientificConfig returns a tractable slice of the production
+// setup (the full cluster works too; this keeps bench times short).
+func DefaultScientificConfig(seed int64) ScientificConfig {
+	return ScientificConfig{
+		Nodes:      512,
+		Horizon:    6 * time.Hour,
+		Seed:       seed,
+		Functions:  200,
+		QPS:        2,
+		Mode:       core.ModeFib,
+		UseWrapper: true,
+	}
+}
+
+// ClassStats summarizes outcomes for one function class.
+type ClassStats struct {
+	Invocations int
+	Success     int
+	Lost        int
+	Failed      int
+	N503        int
+	Median      time.Duration
+	P95         time.Duration
+}
+
+// SuccessShare is successes over completed invocations of the class.
+func (c ClassStats) SuccessShare() float64 {
+	if c.Invocations == 0 {
+		return 0
+	}
+	return float64(c.Success) / float64(c.Invocations)
+}
+
+// ScientificResult is the outcome of the scientific-workload run.
+type ScientificResult struct {
+	Config  ScientificConfig
+	Load    loadgen.Report
+	ByClass map[faasload.Class]ClassStats
+
+	// FallbackShare is the fraction of calls served by the commercial
+	// cloud through Alg. 1.
+	FallbackShare float64
+
+	PilotsStarted int
+	Handoffs      int
+}
+
+// RunScientific executes the experiment.
+func RunScientific(cfg ScientificConfig) ScientificResult {
+	day := FibDay(cfg.Seed)
+	day.Mode = cfg.Mode
+	wl := faasload.DefaultSpec(cfg.Functions, cfg.Seed+1).Build()
+
+	sysCfg := core.DefaultSystemConfig(cfg.Nodes, cfg.Mode)
+	sysCfg.Seed = cfg.Seed + 2
+	// Long functions need headroom beyond the default 60 s timeout.
+	sysCfg.Controller.ActionTimeout = 10 * time.Minute
+	sys := core.NewSystem(sysCfg)
+
+	trCfg := day.TraceConfig()
+	trCfg.Nodes = cfg.Nodes
+	trCfg.Horizon = cfg.Horizon
+	// Scale the idle surface with the cluster slice (the full 2,239-node
+	// day carries ≈14 idle nodes on average).
+	trCfg.MeanIdleNodes = day.MeanIdleNodes * float64(cfg.Nodes) / float64(day.Nodes)
+	if trCfg.MeanIdleNodes < 8 {
+		// Keep enough capacity that the heterogeneous (heavy-tailed)
+		// execution times do not overload a tiny slice outright.
+		trCfg.MeanIdleNodes = 8
+	}
+	sys.LoadTrace(trCfg.Generate())
+
+	wl.Register(sys.Ctrl)
+
+	var backend loadgen.Backend
+	var fb *lambda.Client
+	if cfg.UseWrapper {
+		fb = lambda.NewClient(sys.Sim, lambda.DefaultClientConfig(), cfg.Seed+3)
+		for _, f := range wl.Functions {
+			fb.RegisterAction(f.Action.Name, f.Action.Exec)
+		}
+		backend = core.NewWrapper(sys.Sim, sys.Ctrl, fb)
+	} else {
+		backend = loadgen.ForController(sys.Ctrl)
+	}
+
+	// Per-class accounting wraps the backend.
+	byClass := map[faasload.Class]*classAcc{
+		faasload.ClassShort:  {},
+		faasload.ClassMedium: {},
+		faasload.ClassLong:   {},
+	}
+	acc := &classifyingBackend{
+		inner:   backend,
+		sim:     sys.Sim,
+		classOf: wl.ClassOf,
+		acc:     byClass,
+	}
+
+	gen := loadgen.New(sys.Sim, acc, loadgen.Config{
+		QPS:      cfg.QPS,
+		Actions:  wl.Names(),
+		Weights:  wl.Weights(),
+		Seed:     cfg.Seed + 4,
+		Duration: cfg.Horizon,
+	})
+	gen.Start()
+	sys.Start()
+	sys.Run(cfg.Horizon)
+	sys.Run(12 * time.Minute) // drain long functions
+
+	res := ScientificResult{
+		Config:        cfg,
+		Load:          gen.Report(),
+		ByClass:       map[faasload.Class]ClassStats{},
+		PilotsStarted: sys.Manager.PilotsStarted,
+		Handoffs:      sys.Manager.Handoffs,
+	}
+	for class, a := range byClass {
+		res.ByClass[class] = a.stats()
+	}
+	if w, ok := backend.(*core.Wrapper); ok {
+		total := w.PrimaryCalls + w.FallbackCalls
+		if total > 0 {
+			res.FallbackShare = float64(w.FallbackCalls) / float64(total)
+		}
+	}
+	return res
+}
+
+type classAcc struct {
+	n, success, lost, failed, n503 int
+	lat                            stats.Sample
+}
+
+func (a *classAcc) stats() ClassStats {
+	out := ClassStats{
+		Invocations: a.n, Success: a.success, Lost: a.lost,
+		Failed: a.failed, N503: a.n503,
+	}
+	if a.lat.Len() > 0 {
+		out.Median = time.Duration(a.lat.Median() * float64(time.Second))
+		out.P95 = time.Duration(a.lat.Quantile(0.95) * float64(time.Second))
+	}
+	return out
+}
+
+type classifyingBackend struct {
+	inner   loadgen.Backend
+	sim     interface{ Now() time.Duration }
+	classOf func(string) faasload.Class
+	acc     map[faasload.Class]*classAcc
+}
+
+func (c *classifyingBackend) Invoke(action string, done func(*whisk.Invocation)) {
+	class := c.classOf(action)
+	a := c.acc[class]
+	sent := c.sim.Now()
+	c.inner.Invoke(action, func(inv *whisk.Invocation) {
+		if a != nil {
+			a.n++
+			switch inv.Status {
+			case whisk.StatusSuccess:
+				a.success++
+				a.lat.AddDuration(c.sim.Now() - sent)
+			case whisk.StatusTimeout:
+				a.lost++
+			case whisk.StatusFailed:
+				a.failed++
+			case whisk.Status503:
+				a.n503++
+			}
+		}
+		if done != nil {
+			done(inv)
+		}
+	})
+}
+
+// Render prints the per-class outcome table.
+func (r ScientificResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Scientific FaaS workload (§VII future work) — %d functions, %.0f QPS, %v, %s\n",
+		r.Config.Functions, r.Config.QPS, r.Config.Horizon, r.Config.Mode)
+	fmt.Fprintf(w, "  overall: %s\n", r.Load.String())
+	classes := make([]faasload.Class, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		s := r.ByClass[c]
+		fmt.Fprintf(w, "  %-7s n=%-6d success=%5.1f%% lost=%d failed=%d median=%v p95=%v\n",
+			c, s.Invocations, 100*s.SuccessShare(), s.Lost, s.Failed,
+			s.Median.Round(time.Millisecond), s.P95.Round(time.Millisecond))
+	}
+	if r.Config.UseWrapper {
+		fmt.Fprintf(w, "  commercial fallback served %.1f%% of calls\n", 100*r.FallbackShare)
+	}
+	fmt.Fprintf(w, "  pilots=%d handoffs=%d\n", r.PilotsStarted, r.Handoffs)
+}

@@ -1,0 +1,129 @@
+// Package lambda models a commercial FaaS baseline (AWS Lambda) for two
+// roles in the reproduction: the performance comparison of Fig. 7
+// (memory-scaled CPU share, §V-D) and the fallback backend of the Alg. 1
+// client wrapper (§III-E).
+package lambda
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/dist"
+	"repro/internal/sebs"
+	"repro/internal/whisk"
+)
+
+// FullCPUMemoryMB is the memory size at which AWS Lambda grants a full
+// vCPU (documented by AWS as 1,769 MB).
+const FullCPUMemoryMB = 1769
+
+// CoreEfficiency is the speed of a Lambda vCPU relative to a Prometheus
+// node core, calibrated so the 2048 MB configuration runs the SeBS
+// compute functions ≈15% slower than the HPC node (Fig. 7).
+const CoreEfficiency = 0.87
+
+// SpeedFactor returns the compute speed (Prometheus core = 1.0) of a
+// Lambda slot with the given memory size.
+func SpeedFactor(memoryMB int) float64 {
+	share := float64(memoryMB) / FullCPUMemoryMB
+	if share > 1 {
+		share = 1
+	}
+	return share * CoreEfficiency
+}
+
+// Platform returns the Fig. 7 comparison platform for a memory size.
+func Platform(memoryMB int) sebs.Platform {
+	return sebs.Platform{
+		Name:        fmt.Sprintf("Lambda-%dMB", memoryMB),
+		SpeedFactor: SpeedFactor(memoryMB),
+	}
+}
+
+// ClientConfig models the invocation path of the commercial service.
+type ClientConfig struct {
+	MemoryMB        int
+	WarmOverhead    dist.Dist // request path overhead, seconds
+	ColdStart       dist.Dist // extra cold-start latency, seconds
+	ColdProb        float64   // probability a call hits a cold slot
+	FailureProb     float64
+	DefaultExecTime time.Duration // for actions without a registered model
+}
+
+// DefaultClientConfig returns a Lambda-like client model: sub-100 ms
+// warm overhead, occasional several-hundred-ms cold starts.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		MemoryMB:        2048,
+		WarmOverhead:    dist.Uniform{Lo: 0.030, Hi: 0.120},
+		ColdStart:       dist.Uniform{Lo: 0.250, Hi: 0.900},
+		ColdProb:        0.02,
+		FailureProb:     0.001,
+		DefaultExecTime: 10 * time.Millisecond,
+	}
+}
+
+// Client is a core.Backend that always has capacity (the commercial
+// cloud never runs out of idle HPC nodes). It executes registered
+// actions under the memory-scaled speed factor.
+type Client struct {
+	sim    *des.Sim
+	cfg    ClientConfig
+	rng    *rand.Rand
+	exec   map[string]whisk.ExecFunc
+	nextID int64
+
+	// Counters.
+	Calls     int
+	ColdCalls int
+}
+
+// NewClient builds the commercial-cloud backend.
+func NewClient(sim *des.Sim, cfg ClientConfig, seed int64) *Client {
+	return &Client{sim: sim, cfg: cfg, rng: dist.NewRand(seed), exec: map[string]whisk.ExecFunc{}}
+}
+
+// RegisterAction attaches an execution-time model to an action name.
+// Unregistered actions fall back to DefaultExecTime.
+func (c *Client) RegisterAction(name string, exec whisk.ExecFunc) { c.exec[name] = exec }
+
+// Invoke implements core.Backend: the call always succeeds (modulo the
+// small failure probability) after overhead plus the speed-scaled
+// execution time.
+func (c *Client) Invoke(action string, done func(*whisk.Invocation)) *whisk.Invocation {
+	c.Calls++
+	inv := &whisk.Invocation{
+		ID:        c.nextID,
+		Submitted: c.sim.Now(),
+		InvokerID: -1,
+	}
+	c.nextID++
+	var execTime time.Duration
+	if fn, ok := c.exec[action]; ok {
+		execTime = fn(c.rng)
+	} else {
+		execTime = c.cfg.DefaultExecTime
+	}
+	execTime = time.Duration(float64(execTime) / SpeedFactor(c.cfg.MemoryMB))
+
+	total := dist.Seconds(c.cfg.WarmOverhead, c.rng) + execTime
+	if c.rng.Float64() < c.cfg.ColdProb {
+		total += dist.Seconds(c.cfg.ColdStart, c.rng)
+		inv.ColdStart = true
+		c.ColdCalls++
+	}
+	status := whisk.StatusSuccess
+	if c.rng.Float64() < c.cfg.FailureProb {
+		status = whisk.StatusFailed
+	}
+	c.sim.After(total, func() {
+		inv.Completed = c.sim.Now()
+		inv.Status = status
+		if done != nil {
+			done(inv)
+		}
+	})
+	return inv
+}

@@ -1,0 +1,115 @@
+package lambda
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/dist"
+	"repro/internal/whisk"
+)
+
+func TestSpeedFactor(t *testing.T) {
+	cases := []struct {
+		mem  int
+		want float64
+	}{
+		{1769, 0.87},
+		{2048, 0.87},  // capped at one core
+		{10240, 0.87}, // still one core for single-threaded functions
+		{884, 0.87 * 884.0 / 1769.0},
+	}
+	for _, c := range cases {
+		if got := SpeedFactor(c.mem); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("SpeedFactor(%d) = %v, want %v", c.mem, got, c.want)
+		}
+	}
+}
+
+func TestFig7FactorIs15Percent(t *testing.T) {
+	// The paper's headline: Prometheus ≈15% faster than Lambda-2048.
+	slowdown := 1.0 / SpeedFactor(2048)
+	if slowdown < 1.10 || slowdown > 1.20 {
+		t.Errorf("Lambda slowdown = %.3f, want ≈1.15", slowdown)
+	}
+}
+
+func TestPlatformName(t *testing.T) {
+	p := Platform(2048)
+	if p.Name != "Lambda-2048MB" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.SpeedFactor != SpeedFactor(2048) {
+		t.Error("platform factor mismatch")
+	}
+}
+
+func TestClientInvokeSucceeds(t *testing.T) {
+	sim := des.New()
+	c := NewClient(sim, DefaultClientConfig(), 1)
+	c.RegisterAction("f", whisk.FixedExec(10*time.Millisecond))
+	var got *whisk.Invocation
+	c.Invoke("f", func(inv *whisk.Invocation) { got = inv })
+	sim.Run()
+	if got == nil {
+		t.Fatal("no completion")
+	}
+	if got.Status != whisk.StatusSuccess {
+		t.Errorf("status = %v", got.Status)
+	}
+	lat := got.Completed - got.Submitted
+	// 10 ms / 0.87 + 30-120 ms overhead.
+	if lat < 40*time.Millisecond || lat > 1200*time.Millisecond {
+		t.Errorf("latency = %v", lat)
+	}
+	if c.Calls != 1 {
+		t.Errorf("calls = %d", c.Calls)
+	}
+}
+
+func TestClientDefaultExec(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultClientConfig()
+	cfg.ColdProb = 0
+	c := NewClient(sim, cfg, 2)
+	var got *whisk.Invocation
+	c.Invoke("unregistered", func(inv *whisk.Invocation) { got = inv })
+	sim.Run()
+	if got == nil || got.Status != whisk.StatusSuccess {
+		t.Fatalf("unregistered action failed: %+v", got)
+	}
+}
+
+func TestClientColdStarts(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultClientConfig()
+	cfg.ColdProb = 1.0
+	c := NewClient(sim, cfg, 3)
+	var lat time.Duration
+	c.Invoke("f", func(inv *whisk.Invocation) { lat = inv.Completed - inv.Submitted })
+	sim.Run()
+	if c.ColdCalls != 1 {
+		t.Errorf("cold calls = %d", c.ColdCalls)
+	}
+	if lat < 250*time.Millisecond {
+		t.Errorf("cold latency = %v, want ≥250ms", lat)
+	}
+}
+
+func TestClientExecScaled(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultClientConfig()
+	cfg.ColdProb = 0
+	cfg.FailureProb = 0
+	cfg.WarmOverhead = dist.Constant{Value: 0}
+	c := NewClient(sim, cfg, 4)
+	c.RegisterAction("g", whisk.FixedExec(870*time.Millisecond))
+	var lat time.Duration
+	c.Invoke("g", func(inv *whisk.Invocation) { lat = inv.Completed - inv.Submitted })
+	sim.Run()
+	want := time.Duration(float64(870*time.Millisecond) / 0.87) // = 1s
+	if d := lat - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("scaled latency = %v, want %v", lat, want)
+	}
+}

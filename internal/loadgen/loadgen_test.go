@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/whisk"
+)
+
+// scriptedBackend returns statuses from a fixed cycle.
+type scriptedBackend struct {
+	sim    *des.Sim
+	cycle  []whisk.Status
+	delay  time.Duration
+	served int
+}
+
+func (s *scriptedBackend) Invoke(action string, done func(*whisk.Invocation)) {
+	status := s.cycle[s.served%len(s.cycle)]
+	s.served++
+	inv := &whisk.Invocation{Submitted: s.sim.Now(), InvokerID: -1}
+	s.sim.After(s.delay, func() {
+		inv.Completed = s.sim.Now()
+		inv.Status = status
+		done(inv)
+	})
+}
+
+func TestConstantRateIssuesExactCount(t *testing.T) {
+	sim := des.New()
+	be := &scriptedBackend{sim: sim, cycle: []whisk.Status{whisk.StatusSuccess}, delay: 10 * time.Millisecond}
+	g := New(sim, be, Config{QPS: 10, Actions: []string{"f"}, Duration: time.Minute})
+	g.Start()
+	sim.RunUntil(2 * time.Minute)
+	if g.Issued != 600 {
+		t.Errorf("issued = %d, want 600 (10 QPS × 60 s)", g.Issued)
+	}
+	if g.Completed != g.Issued {
+		t.Errorf("completed = %d of %d", g.Completed, g.Issued)
+	}
+}
+
+func TestClassificationAndReport(t *testing.T) {
+	sim := des.New()
+	cycle := []whisk.Status{
+		whisk.StatusSuccess, whisk.StatusSuccess, whisk.StatusSuccess,
+		whisk.StatusFailed, whisk.StatusTimeout, whisk.Status503,
+	}
+	be := &scriptedBackend{sim: sim, cycle: cycle, delay: 5 * time.Millisecond}
+	g := New(sim, be, Config{QPS: 60, Actions: ActionNames("fn", 10), Duration: time.Minute})
+	g.Start()
+	sim.RunUntil(2 * time.Minute)
+	rep := g.Report()
+	if rep.Issued != 3600 {
+		t.Fatalf("issued = %d", rep.Issued)
+	}
+	// Cycle of 6: 5/6 invoked, of which 3/5 success, 1/5 failed, 1/5 lost.
+	if d := rep.InvokedShare - 5.0/6.0; d < -0.01 || d > 0.01 {
+		t.Errorf("invoked share = %.4f, want 0.8333", rep.InvokedShare)
+	}
+	if d := rep.SuccessShare - 0.6; d < -0.01 || d > 0.01 {
+		t.Errorf("success share = %.4f, want 0.6", rep.SuccessShare)
+	}
+	if d := rep.LostShare - 0.2; d < -0.01 || d > 0.01 {
+		t.Errorf("lost share = %.4f, want 0.2", rep.LostShare)
+	}
+	if rep.MedianLatency < 4*time.Millisecond || rep.MedianLatency > 6*time.Millisecond {
+		t.Errorf("median latency = %v, want ≈5ms", rep.MedianLatency)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestPerMinuteSeries(t *testing.T) {
+	sim := des.New()
+	be := &scriptedBackend{sim: sim, cycle: []whisk.Status{whisk.StatusSuccess}, delay: time.Millisecond}
+	g := New(sim, be, Config{QPS: 2, Actions: []string{"f"}, Duration: 3 * time.Minute})
+	g.Start()
+	sim.RunUntil(5 * time.Minute)
+	rows := g.Series.Rows()
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Full middle minute carries 2 QPS × 60 s = 120 successes.
+	if got := rows[1].Counts[LabelSuccess]; got != 120 {
+		t.Errorf("minute-1 successes = %d, want 120", got)
+	}
+}
+
+func TestRoundRobinActions(t *testing.T) {
+	sim := des.New()
+	seen := map[string]int{}
+	be := &recordingBackend{sim: sim, seen: seen}
+	g := New(sim, be, Config{QPS: 100, Actions: ActionNames("a", 4), Duration: time.Second})
+	g.Start()
+	sim.RunUntil(2 * time.Second)
+	if len(seen) != 4 {
+		t.Fatalf("actions seen = %d, want 4", len(seen))
+	}
+	for name, n := range seen {
+		if n != 25 {
+			t.Errorf("action %s called %d times, want 25", name, n)
+		}
+	}
+}
+
+type recordingBackend struct {
+	sim  *des.Sim
+	seen map[string]int
+}
+
+func (r *recordingBackend) Invoke(action string, done func(*whisk.Invocation)) {
+	r.seen[action]++
+	inv := &whisk.Invocation{Submitted: r.sim.Now()}
+	r.sim.After(time.Millisecond, func() {
+		inv.Completed = r.sim.Now()
+		inv.Status = whisk.StatusSuccess
+		done(inv)
+	})
+}
+
+func TestActionNames(t *testing.T) {
+	names := ActionNames("sleep", 100)
+	if len(names) != 100 {
+		t.Fatalf("len = %d", len(names))
+	}
+	if names[0] != "sleep-000" || names[99] != "sleep-099" {
+		t.Errorf("names = %s..%s", names[0], names[99])
+	}
+	uniq := map[string]bool{}
+	for _, n := range names {
+		uniq[n] = true
+	}
+	if len(uniq) != 100 {
+		t.Error("names not unique")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	sim := des.New()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero QPS should panic")
+		}
+	}()
+	New(sim, &scriptedBackend{sim: sim}, Config{QPS: 0, Actions: []string{"f"}})
+}

@@ -1,0 +1,162 @@
+package sebs
+
+import (
+	"math"
+	"sort"
+)
+
+// BFSResult summarizes one breadth-first traversal.
+type BFSResult struct {
+	Visited  int
+	MaxDepth int
+	SumDepth int64
+}
+
+// BFS performs a breadth-first search from source and returns traversal
+// statistics (the SeBS bfs kernel).
+func BFS(g *Graph, source int32) BFSResult {
+	depth := make([]int32, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[source] = 0
+	queue := make([]int32, 0, g.N)
+	queue = append(queue, source)
+	res := BFSResult{Visited: 1}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := depth[v]
+		for _, to := range g.Out(v) {
+			if depth[to] < 0 {
+				depth[to] = d + 1
+				res.Visited++
+				res.SumDepth += int64(d + 1)
+				if int(d+1) > res.MaxDepth {
+					res.MaxDepth = int(d + 1)
+				}
+				queue = append(queue, to)
+			}
+		}
+	}
+	return res
+}
+
+// MSTResult summarizes a minimum-spanning-forest computation.
+type MSTResult struct {
+	Edges  int
+	Weight float64
+}
+
+// MST computes a minimum spanning forest with Kruskal's algorithm over
+// the graph interpreted as undirected (the SeBS mst kernel).
+func MST(g *Graph) MSTResult {
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	edges := make([]edge, 0, g.Edges())
+	for u := int32(0); u < int32(g.N); u++ {
+		for i := g.AdjOff[u]; i < g.AdjOff[u+1]; i++ {
+			v := g.Adj[i]
+			if u == v {
+				continue
+			}
+			edges = append(edges, edge{u: u, v: v, w: g.Weights[i]})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+
+	parent := make([]int32, g.N)
+	rank := make([]int8, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	var res MSTResult
+	for _, e := range edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru == rv {
+			continue
+		}
+		if rank[ru] < rank[rv] {
+			ru, rv = rv, ru
+		}
+		parent[rv] = ru
+		if rank[ru] == rank[rv] {
+			rank[ru]++
+		}
+		res.Edges++
+		res.Weight += e.w
+		if res.Edges == g.N-1 {
+			break
+		}
+	}
+	return res
+}
+
+// PageRankResult summarizes a power-iteration PageRank run.
+type PageRankResult struct {
+	Iterations int
+	TopRank    float64
+	Delta      float64
+}
+
+// PageRank runs damped power iteration until the L1 delta falls below
+// eps or maxIter is reached (the SeBS pagerank kernel).
+func PageRank(g *Graph, damping float64, maxIter int, eps float64) PageRankResult {
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	outDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		outDeg[v] = float64(g.AdjOff[v+1] - g.AdjOff[v])
+	}
+	var res PageRankResult
+	for it := 0; it < maxIter; it++ {
+		base := (1 - damping) * inv
+		var dangling float64
+		for v := 0; v < n; v++ {
+			next[v] = base
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if outDeg[v] == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := damping * rank[v] / outDeg[v]
+			for _, to := range g.Out(v) {
+				next[to] += share
+			}
+		}
+		spread := damping * dangling * inv
+		delta := 0.0
+		top := 0.0
+		for v := 0; v < n; v++ {
+			next[v] += spread
+			delta += math.Abs(next[v] - rank[v])
+			if next[v] > top {
+				top = next[v]
+			}
+		}
+		rank, next = next, rank
+		res.Iterations = it + 1
+		res.Delta = delta
+		res.TopRank = top
+		if delta < eps {
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,104 @@
+package sebs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Function names of the compute-intensive SeBS subset used in §V-D.
+const (
+	FnBFS      = "bfs"
+	FnMST      = "mst"
+	FnPageRank = "pagerank"
+)
+
+// Functions lists the benchmarked function names in the paper's order.
+func Functions() []string { return []string{FnBFS, FnMST, FnPageRank} }
+
+// Workload bundles a generated input graph with runnable kernels.
+type Workload struct {
+	Graph *Graph
+}
+
+// NewWorkload generates the benchmark input: a graph sized so one
+// invocation runs for tens of milliseconds, matching the "warm"
+// per-invocation times of Fig. 7.
+func NewWorkload(n, deg int, seed int64) *Workload {
+	return &Workload{Graph: GenerateGraph(n, deg, seed)}
+}
+
+// Run executes one named kernel and returns a scalar checksum (so the
+// compiler cannot elide the work).
+func (w *Workload) Run(fn string) float64 {
+	switch fn {
+	case FnBFS:
+		r := BFS(w.Graph, 0)
+		return float64(r.Visited) + float64(r.SumDepth)
+	case FnMST:
+		r := MST(w.Graph)
+		return r.Weight + float64(r.Edges)
+	case FnPageRank:
+		r := PageRank(w.Graph, 0.85, 50, 1e-8)
+		return r.TopRank*1e6 + float64(r.Iterations)
+	default:
+		panic(fmt.Sprintf("sebs: unknown function %q", fn))
+	}
+}
+
+// Platform scales measured kernel times into platform-observed times,
+// standing in for the hardware difference between a Prometheus node and
+// an AWS Lambda slot (§V-D): Lambda's CPU share scales with the memory
+// size and its virtualized cores run slower than the HPC node's Xeons.
+type Platform struct {
+	Name string
+	// SpeedFactor divides compute speed: observed = measured / SpeedFactor.
+	SpeedFactor float64
+}
+
+// Prometheus is the HPC-node platform (reference speed).
+func Prometheus() Platform { return Platform{Name: "Prometheus", SpeedFactor: 1.0} }
+
+// Observe converts a measured kernel duration into the platform's
+// observed duration.
+func (p Platform) Observe(measured time.Duration) time.Duration {
+	return time.Duration(float64(measured) / p.SpeedFactor)
+}
+
+// Measurement is one warm invocation's internal execution time.
+type Measurement struct {
+	Function string
+	Platform string
+	Internal time.Duration
+}
+
+// RunBenchmark performs `invocations` warm runs of each function on the
+// given platforms, timing the real kernels and scaling by platform
+// speed. A warm-up run per function is discarded, mirroring §V-D's
+// focus on warm performance.
+func RunBenchmark(w *Workload, platforms []Platform, invocations int, timer func(func()) time.Duration) []Measurement {
+	if timer == nil {
+		timer = WallTimer
+	}
+	var out []Measurement
+	for _, fn := range Functions() {
+		w.Run(fn) // warm-up, discarded
+		for i := 0; i < invocations; i++ {
+			measured := timer(func() { w.Run(fn) })
+			for _, p := range platforms {
+				out = append(out, Measurement{
+					Function: fn,
+					Platform: p.Name,
+					Internal: p.Observe(measured),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WallTimer times fn with the wall clock.
+func WallTimer(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

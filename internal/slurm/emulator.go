@@ -1,0 +1,554 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/workload"
+)
+
+// Config holds the scheduler parameters of the emulator. The defaults
+// (see DefaultConfig) mirror the Prometheus configuration described in
+// the paper.
+type Config struct {
+	// Grace is the SIGTERM→SIGKILL notice (3 minutes on Prometheus).
+	Grace time.Duration
+
+	// SchedInterval is the nominal period of scheduling passes. A pass
+	// whose own duration exceeds the interval delays the next pass —
+	// the mechanism behind the var model's coverage loss (§V-B2).
+	SchedInterval time.Duration
+
+	// Slot is the backfill allocation granularity (2 minutes on
+	// Prometheus: job lengths must be even, §IV-B).
+	Slot time.Duration
+
+	// BackfillWindow is how far into the future backfill plans
+	// (120 minutes on Prometheus).
+	BackfillWindow time.Duration
+
+	// Scheduling-pass cost model: a pass lasts
+	// PassBase + PassPerFixedJob·(queued fixed) + PassPerVarJob·(queued
+	// variable). Variable-length jobs are far more expensive to place
+	// because Slurm schedules them at TimeMin and then tries to extend.
+	PassBase        time.Duration
+	PassPerFixedJob time.Duration
+	PassPerVarJob   time.Duration
+
+	// MaxStartsPerPass caps how many pilot jobs one pass can launch
+	// (0 = unlimited). Variable-length passes on Prometheus could not
+	// always work through a drained queue before the cluster changed.
+	MaxStartsPerPass int
+}
+
+// DefaultConfig returns the Prometheus-like configuration.
+func DefaultConfig() Config {
+	return Config{
+		Grace:            3 * time.Minute,
+		SchedInterval:    15 * time.Second,
+		Slot:             2 * time.Minute,
+		BackfillWindow:   120 * time.Minute,
+		PassBase:         500 * time.Millisecond,
+		PassPerFixedJob:  10 * time.Millisecond,
+		PassPerVarJob:    600 * time.Millisecond,
+		MaxStartsPerPass: 0,
+	}
+}
+
+// Emulator is the Slurm controller (slurmctld) emulation.
+type Emulator struct {
+	sim *des.Sim
+	cfg Config
+	cl  *cluster.Cluster
+
+	partitions map[string]*Partition
+
+	nextID     int
+	pilotQueue jobHeap // tier-0 queue ordered by (priority desc, submit)
+	primeQueue []*Job  // tier ≥1 FIFO queue (full-scheduler mode)
+
+	runningByNode []*Job // pilot or prime job occupying each node
+
+	// Trace mode: the scheduler's declared view of each node's current
+	// idle window, and whether trace-driven prime load occupies it.
+	declaredEnd []des.Time
+
+	passTicker       *des.Event
+	inTraceMode      bool
+	headReservation  reservation
+	primePassPending bool
+
+	// Counters for tests and experiment reports.
+	Started    int
+	Preempted  int
+	TimedOut   int
+	Cancelled  int
+	GracefulEx int
+}
+
+// New builds an emulator over a fresh cluster of n nodes.
+func New(sim *des.Sim, n int, cfg Config) *Emulator {
+	e := &Emulator{
+		sim:           sim,
+		cfg:           cfg,
+		cl:            cluster.New(n),
+		partitions:    map[string]*Partition{},
+		runningByNode: make([]*Job, n),
+		declaredEnd:   make([]des.Time, n),
+	}
+	return e
+}
+
+// Cluster exposes the node-state store (for monitoring perspectives).
+func (e *Emulator) Cluster() *cluster.Cluster { return e.cl }
+
+// Sim exposes the simulation handle.
+func (e *Emulator) Sim() *des.Sim { return e.sim }
+
+// Config returns the active configuration.
+func (e *Emulator) Config() Config { return e.cfg }
+
+// AddPartition registers a partition.
+func (e *Emulator) AddPartition(p Partition) {
+	cp := p
+	e.partitions[p.Name] = &cp
+}
+
+// DriveTrace loads an exogenous availability trace: outside its idle
+// periods every node is occupied by untracked prime load. Idle-period
+// boundaries become node events; the declared ends feed the scheduler's
+// window estimates. Call before Start.
+func (e *Emulator) DriveTrace(tr *workload.Trace) {
+	if tr.Nodes != e.cl.Len() {
+		panic(fmt.Sprintf("slurm: trace has %d nodes, cluster %d", tr.Nodes, e.cl.Len()))
+	}
+	e.inTraceMode = true
+	// All nodes start busy; idle periods open windows.
+	for i := 0; i < e.cl.Len(); i++ {
+		e.cl.Set(i, cluster.Busy, e.sim.Now())
+	}
+	for _, p := range tr.Periods {
+		p := p
+		e.sim.Schedule(p.Start, func() { e.traceIdleStart(p) })
+		e.sim.Schedule(p.End, func() { e.traceIdleEnd(p) })
+	}
+}
+
+func (e *Emulator) traceIdleStart(p workload.IdlePeriod) {
+	node := p.Node
+	if e.runningByNode[node] != nil {
+		// A pilot survived into this instant (grace overlap); leave it.
+		e.declaredEnd[node] = p.DeclaredEnd
+		return
+	}
+	e.declaredEnd[node] = p.DeclaredEnd
+	e.cl.Set(node, cluster.Idle, e.sim.Now())
+}
+
+func (e *Emulator) traceIdleEnd(p workload.IdlePeriod) {
+	node := p.Node
+	now := e.sim.Now()
+	if j := e.runningByNode[node]; j != nil {
+		// Prime load reclaims the node: preempt the pilot
+		// (PreemptMode=CANCEL with grace).
+		e.sigterm(j, ReasonPreempted)
+		// The node is handed to the prime workload immediately; the
+		// paper argues the ≤3-minute grace delay is insignificant.
+		e.detach(j)
+	}
+	e.declaredEnd[node] = 0
+	e.cl.Set(node, cluster.Busy, now)
+}
+
+// Start begins periodic scheduling passes.
+func (e *Emulator) Start() {
+	if e.passTicker != nil {
+		return
+	}
+	e.schedulePass(e.cfg.SchedInterval)
+}
+
+func (e *Emulator) schedulePass(after time.Duration) {
+	e.passTicker = e.sim.After(after, e.runPass)
+}
+
+// runPass models one scheduling pass: it costs time proportional to the
+// queue, works from a snapshot of the node states taken at pass start
+// (as Slurm's backfill plans from a point-in-time view), and its
+// placements take effect at the end of the pass. Nodes that turn idle
+// while a pass is in flight wait for the next pass — the staleness that
+// makes expensive (variable-length) passes lose coverage (§V-B2).
+func (e *Emulator) runPass() {
+	cost := e.passCost()
+	idleSnap := append([]int(nil), e.cl.Nodes(cluster.Idle)...)
+	sort.Ints(idleSnap)
+	e.sim.After(cost, func() {
+		e.schedulePrime()
+		e.schedulePilotsOn(idleSnap)
+	})
+	next := e.cfg.SchedInterval
+	if cost > next {
+		next = cost
+	}
+	e.schedulePass(next)
+}
+
+func (e *Emulator) passCost() time.Duration {
+	var fixed, variable int
+	for _, j := range e.pilotQueue {
+		if j.Variable() {
+			variable++
+		} else {
+			fixed++
+		}
+	}
+	return e.cfg.PassBase +
+		time.Duration(fixed)*e.cfg.PassPerFixedJob +
+		time.Duration(variable)*e.cfg.PassPerVarJob +
+		time.Duration(len(e.primeQueue))*e.cfg.PassPerFixedJob
+}
+
+// Submit enqueues a job. Tier-0 partitions feed the pilot queue;
+// higher tiers feed the prime queue (full-scheduler mode).
+func (e *Emulator) Submit(spec JobSpec) *Job {
+	p, ok := e.partitions[spec.Partition]
+	if !ok {
+		panic(fmt.Sprintf("slurm: unknown partition %q", spec.Partition))
+	}
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.TimeLimit <= 0 {
+		panic("slurm: job needs a time limit")
+	}
+	j := &Job{
+		ID:        e.nextID,
+		Spec:      spec,
+		State:     Pending,
+		Submitted: e.sim.Now(),
+		emu:       e,
+		heapIdx:   -1,
+	}
+	e.nextID++
+	if p.PriorityTier == 0 {
+		e.pilotQueue.push(j)
+	} else {
+		e.primeQueue = append(e.primeQueue, j)
+	}
+	return j
+}
+
+// Cancel removes a pending job from its queue. Running jobs are not
+// cancelled this way (the HPC-Whisk manager only replaces queued jobs).
+func (e *Emulator) Cancel(j *Job) bool {
+	if j.State != Pending {
+		return false
+	}
+	if j.heapIdx >= 0 {
+		e.pilotQueue.remove(j)
+	} else {
+		for i, q := range e.primeQueue {
+			if q == j {
+				e.primeQueue = append(e.primeQueue[:i], e.primeQueue[i+1:]...)
+				break
+			}
+		}
+	}
+	j.State = Done
+	j.Reason = ReasonCancelled
+	j.Ended = e.sim.Now()
+	e.Cancelled++
+	if j.Spec.OnEnd != nil {
+		j.Spec.OnEnd(j, ReasonCancelled)
+	}
+	return true
+}
+
+// QueuedPilots returns the number of pending tier-0 jobs.
+func (e *Emulator) QueuedPilots() int { return len(e.pilotQueue) }
+
+// QueuedPilotsByLimit counts pending tier-0 jobs per time limit.
+func (e *Emulator) QueuedPilotsByLimit() map[time.Duration]int {
+	out := map[time.Duration]int{}
+	for _, j := range e.pilotQueue {
+		out[j.Spec.TimeLimit]++
+	}
+	return out
+}
+
+// schedulePilotsOn places tier-0 jobs on the snapshot's idle nodes
+// (re-validated against the current state) using the scheduler's
+// declared window estimates.
+func (e *Emulator) schedulePilotsOn(idle []int) {
+	if len(e.pilotQueue) == 0 {
+		return
+	}
+	now := e.sim.Now()
+	starts := 0
+	for _, node := range idle {
+		if e.cfg.MaxStartsPerPass > 0 && starts >= e.cfg.MaxStartsPerPass {
+			break
+		}
+		if e.cl.State(node) != cluster.Idle {
+			continue // reclaimed while the pass was in flight
+		}
+		window := e.visibleWindow(node, now)
+		if window < e.cfg.Slot {
+			continue
+		}
+		j := e.pilotQueue.bestFit(window)
+		if j == nil {
+			continue
+		}
+		granted := j.Spec.TimeLimit
+		if j.Variable() {
+			granted = window
+			if granted > j.Spec.TimeLimit {
+				granted = j.Spec.TimeLimit
+			}
+			granted = granted - granted%e.cfg.Slot
+			if granted < j.Spec.TimeMin {
+				continue
+			}
+		}
+		e.pilotQueue.remove(j)
+		e.startJob(j, []int{node}, granted, cluster.Pilot)
+		starts++
+	}
+}
+
+// visibleWindow is the scheduler's belief about how long a node stays
+// idle: the declared window end while it lasts, then a rolling single
+// slot (the scheduler keeps seeing "idle right now" and plans one slot
+// ahead), capped by the backfill window. In full-scheduler mode the
+// window is bounded by the head-job reservation (see backfill.go).
+func (e *Emulator) visibleWindow(node int, now des.Time) time.Duration {
+	var w time.Duration
+	if e.inTraceMode {
+		decl := e.declaredEnd[node]
+		if decl > now {
+			w = decl - now
+		} else {
+			w = e.cfg.Slot
+		}
+	} else {
+		w = e.reservationWindow(node, now)
+	}
+	if w > e.cfg.BackfillWindow {
+		w = e.cfg.BackfillWindow
+	}
+	return w - w%e.cfg.Slot
+}
+
+// startJob launches a job on the given nodes.
+func (e *Emulator) startJob(j *Job, nodes []int, granted time.Duration, st cluster.State) {
+	now := e.sim.Now()
+	j.State = Running
+	j.Started = now
+	j.Granted = granted
+	j.NodeIDs = nodes
+	for _, n := range nodes {
+		e.runningByNode[n] = j
+		e.cl.Set(n, st, now)
+	}
+	e.Started++
+	// Natural end: prime jobs complete after their actual runtime;
+	// pilots (Runtime == 0) receive SIGTERM at their granted limit.
+	if j.Spec.Runtime > 0 && j.Spec.Runtime <= granted {
+		j.endEvent = e.sim.After(j.Spec.Runtime, func() { e.finish(j, ReasonCompleted) })
+	} else {
+		j.endEvent = e.sim.After(granted, func() { e.sigterm(j, ReasonTimeout) })
+	}
+	if j.Spec.OnStart != nil {
+		j.Spec.OnStart(j)
+	}
+}
+
+// sigterm delivers the grace-period warning and arms the SIGKILL. A job
+// with no SIGTERM handler dies immediately (like a plain batch script);
+// a job with a handler (the HPC-Whisk invoker) lingers until it calls
+// Exit or the grace period expires.
+func (e *Emulator) sigterm(j *Job, reason EndReason) {
+	if j.State != Running {
+		return
+	}
+	now := e.sim.Now()
+	j.State = Completing
+	j.Reason = reason
+	j.SigtermAt = now
+	if j.endEvent != nil {
+		j.endEvent.Stop()
+		j.endEvent = nil
+	}
+	if j.Spec.OnSigterm == nil {
+		e.finish(j, reason)
+		return
+	}
+	j.killEv = e.sim.After(e.cfg.Grace, func() { e.finish(j, reason) })
+	j.Spec.OnSigterm(j, now)
+}
+
+// detach releases a job's nodes without ending the job (used when prime
+// load reclaims nodes while the job drains through its grace period).
+func (e *Emulator) detach(j *Job) {
+	j.NodeIDs = j.NodeIDs[:0]
+	// Node states are updated by the caller.
+	for n, q := range e.runningByNode {
+		if q == j {
+			e.runningByNode[n] = nil
+		}
+	}
+}
+
+// finish ends a job and frees any nodes it still holds.
+func (e *Emulator) finish(j *Job, reason EndReason) {
+	if j.State == Done {
+		return
+	}
+	now := e.sim.Now()
+	wasCompleting := j.State == Completing
+	j.State = Done
+	j.Reason = reason
+	j.Ended = now
+	if j.endEvent != nil {
+		j.endEvent.Stop()
+		j.endEvent = nil
+	}
+	if j.killEv != nil {
+		j.killEv.Stop()
+		j.killEv = nil
+	}
+	for _, n := range j.NodeIDs {
+		if e.runningByNode[n] != j {
+			continue
+		}
+		e.runningByNode[n] = nil
+		if e.inTraceMode {
+			// The node returns to idle if its window is still open
+			// (the trace's idle-end event will mark it busy otherwise).
+			e.cl.Set(n, cluster.Idle, now)
+		} else {
+			e.cl.Set(n, cluster.Idle, now)
+			e.onPrimeNodeFree()
+		}
+	}
+	switch reason {
+	case ReasonPreempted:
+		e.Preempted++
+	case ReasonTimeout:
+		e.TimedOut++
+	}
+	if wasCompleting && j.GracefulExit {
+		e.GracefulEx++
+	}
+	if j.Spec.OnEnd != nil {
+		j.Spec.OnEnd(j, reason)
+	}
+}
+
+// RunningJob returns the job occupying a node, if any.
+func (e *Emulator) RunningJob(node int) *Job { return e.runningByNode[node] }
+
+// Snapshot returns the current idle and pilot node id lists (sorted
+// copies), as the paper's 10-second pollers logged them.
+func (e *Emulator) Snapshot() (idle, pilot []int) {
+	idle = append([]int(nil), e.cl.Nodes(cluster.Idle)...)
+	pilot = append([]int(nil), e.cl.Nodes(cluster.Pilot)...)
+	sort.Ints(idle)
+	sort.Ints(pilot)
+	return idle, pilot
+}
+
+// jobHeap is a priority queue: higher Priority first, then FIFO.
+type jobHeap []*Job
+
+func (h jobHeap) less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
+	}
+	return h[i].Submitted < h[j].Submitted || (h[i].Submitted == h[j].Submitted && h[i].ID < h[j].ID)
+}
+
+func (h jobHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *jobHeap) push(j *Job) {
+	*h = append(*h, j)
+	j.heapIdx = len(*h) - 1
+	h.up(j.heapIdx)
+}
+
+func (h jobHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h jobHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *jobHeap) remove(j *Job) {
+	i := j.heapIdx
+	if i < 0 || i >= len(*h) || (*h)[i] != j {
+		return
+	}
+	last := len(*h) - 1
+	h.swap(i, last)
+	(*h)[last] = nil
+	*h = (*h)[:last]
+	j.heapIdx = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+// bestFit returns the highest-priority pending job whose limit fits the
+// window (for the fib manager, priority ∝ length, so this is the
+// greedy longest-fits choice of §III-D). Variable-length jobs fit if
+// their TimeMin does.
+func (h jobHeap) bestFit(window time.Duration) *Job {
+	var best *Job
+	bestIdx := -1
+	for i, j := range h {
+		need := j.Spec.TimeLimit
+		if j.Variable() {
+			need = j.Spec.TimeMin
+		}
+		if need > window {
+			continue
+		}
+		if best == nil || h.less(i, bestIdx) {
+			best = j
+			bestIdx = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,517 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/workload"
+)
+
+const (
+	pilotPart = "whisk"
+	primePart = "hpc"
+)
+
+func newEmu(t *testing.T, nodes int) (*des.Sim, *Emulator) {
+	t.Helper()
+	sim := des.New()
+	cfg := DefaultConfig()
+	e := New(sim, nodes, cfg)
+	e.AddPartition(Partition{Name: pilotPart, PriorityTier: 0})
+	e.AddPartition(Partition{Name: primePart, PriorityTier: 1})
+	return sim, e
+}
+
+func oneNodeTrace(periods ...workload.IdlePeriod) *workload.Trace {
+	tr := &workload.Trace{Nodes: 1, Horizon: 4 * time.Hour, Periods: periods}
+	tr.Sort()
+	return tr
+}
+
+func fixedPilot(limit time.Duration) JobSpec {
+	return JobSpec{
+		Name:      "pilot",
+		Partition: pilotPart,
+		Nodes:     1,
+		TimeLimit: limit,
+		Priority:  int64(limit),
+	}
+}
+
+func TestPilotPlacedInWindow(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 1 * time.Minute, End: 21 * time.Minute, DeclaredEnd: 21 * time.Minute,
+	}))
+	var started *Job
+	spec := fixedPilot(14 * time.Minute)
+	spec.OnStart = func(j *Job) { started = j }
+	e.Submit(spec)
+	e.Submit(fixedPilot(2 * time.Minute))
+	e.Start()
+	sim.RunUntil(2 * time.Minute)
+	if started == nil {
+		t.Fatal("14-minute pilot not started in a 20-minute window")
+	}
+	if started.Granted != 14*time.Minute {
+		t.Errorf("granted = %v, want 14m", started.Granted)
+	}
+	if got := started.Started; got < time.Minute || got > 90*time.Second {
+		t.Errorf("start at %v, want shortly after 1m", got)
+	}
+	if e.Cluster().State(0) != cluster.Pilot {
+		t.Errorf("node state = %v, want pilot", e.Cluster().State(0))
+	}
+}
+
+func TestLongestFitChosen(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 9 * time.Minute, DeclaredEnd: 9 * time.Minute,
+	}))
+	var startedLimit time.Duration
+	for _, l := range []time.Duration{2, 4, 6, 8, 14} {
+		spec := fixedPilot(l * time.Minute)
+		spec.OnStart = func(j *Job) {
+			if startedLimit == 0 {
+				startedLimit = j.Spec.TimeLimit
+			}
+		}
+		e.Submit(spec)
+	}
+	e.Start()
+	sim.RunUntil(time.Minute)
+	// Window is 9 min → rounded to 8 min → the 8-minute job wins.
+	if startedLimit != 8*time.Minute {
+		t.Errorf("started job limit = %v, want 8m", startedLimit)
+	}
+}
+
+func TestVariableJobGrantedWindow(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 47 * time.Minute, DeclaredEnd: 47 * time.Minute,
+	}))
+	var got *Job
+	spec := JobSpec{
+		Name: "var", Partition: pilotPart, Nodes: 1,
+		TimeMin: 2 * time.Minute, TimeLimit: 2 * time.Hour,
+		OnStart: func(j *Job) { got = j },
+	}
+	e.Submit(spec)
+	e.Start()
+	sim.RunUntil(time.Minute)
+	if got == nil {
+		t.Fatal("variable job not started")
+	}
+	// Window ≈ 47m - (pass time) → slot-rounded to 46m.
+	if got.Granted < 44*time.Minute || got.Granted > 46*time.Minute {
+		t.Errorf("granted = %v, want ≈46m", got.Granted)
+	}
+	if got.Granted%(2*time.Minute) != 0 {
+		t.Errorf("granted %v not slot-aligned", got.Granted)
+	}
+}
+
+func TestTooSmallWindowSkipped(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 90 * time.Second, DeclaredEnd: 90 * time.Second,
+	}))
+	started := false
+	spec := fixedPilot(2 * time.Minute)
+	spec.OnStart = func(j *Job) { started = true }
+	e.Submit(spec)
+	e.Start()
+	sim.RunUntil(5 * time.Minute)
+	if started {
+		t.Error("2-minute job started in a 90-second window")
+	}
+}
+
+func TestPreemptionOnReclaim(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	// Declared window far longer than actual: pilot gets preempted.
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 10 * time.Minute, DeclaredEnd: 40 * time.Minute,
+	}))
+	var sigtermAt des.Time
+	var endReason EndReason
+	exited := make(chan struct{}) // closed semantics via flag; DES is single-threaded
+	_ = exited
+	spec := fixedPilot(34 * time.Minute)
+	spec.OnSigterm = func(j *Job, at des.Time) {
+		sigtermAt = at
+		// Drain and exit 2 seconds later, like the HPC-Whisk invoker.
+		sim.After(2*time.Second, j.Exit)
+	}
+	spec.OnEnd = func(j *Job, reason EndReason) { endReason = reason }
+	e.Submit(spec)
+	e.Start()
+	sim.RunUntil(15 * time.Minute)
+	if sigtermAt != 10*time.Minute {
+		t.Errorf("sigterm at %v, want 10m", sigtermAt)
+	}
+	if endReason != ReasonPreempted {
+		t.Errorf("end reason = %v, want preempted", endReason)
+	}
+	if e.Preempted != 1 {
+		t.Errorf("preempted counter = %d, want 1", e.Preempted)
+	}
+	if e.GracefulEx != 1 {
+		t.Errorf("graceful counter = %d, want 1", e.GracefulEx)
+	}
+	if e.Cluster().State(0) != cluster.Busy {
+		t.Errorf("node state after reclaim = %v, want busy", e.Cluster().State(0))
+	}
+}
+
+func TestSigkillAfterGraceWithoutExit(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 10 * time.Minute, DeclaredEnd: 40 * time.Minute,
+	}))
+	var ended des.Time
+	var graceful bool
+	spec := fixedPilot(34 * time.Minute)
+	spec.OnSigterm = func(j *Job, at des.Time) { /* never exits voluntarily */ }
+	spec.OnEnd = func(j *Job, reason EndReason) { ended = sim.Now(); graceful = j.GracefulExit }
+	e.Submit(spec)
+	e.Start()
+	sim.RunUntil(20 * time.Minute)
+	if ended != 13*time.Minute {
+		t.Errorf("SIGKILL at %v, want 13m (10m + 3m grace)", ended)
+	}
+	if graceful {
+		t.Error("job without voluntary exit marked graceful")
+	}
+}
+
+func TestTimeoutSigtermAtGrantedLimit(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 60 * time.Minute, DeclaredEnd: 60 * time.Minute,
+	}))
+	var started, sigterm des.Time
+	var reason EndReason
+	spec := fixedPilot(4 * time.Minute)
+	spec.OnStart = func(j *Job) { started = sim.Now() }
+	spec.OnSigterm = func(j *Job, at des.Time) {
+		sigterm = at
+		sim.After(time.Second, j.Exit)
+	}
+	spec.OnEnd = func(j *Job, r EndReason) { reason = r }
+	e.Submit(spec)
+	e.Start()
+	sim.RunUntil(10 * time.Minute)
+	if sigterm-started != 4*time.Minute {
+		t.Errorf("sigterm after %v of runtime, want 4m", sigterm-started)
+	}
+	if reason != ReasonTimeout {
+		t.Errorf("reason = %v, want timeout", reason)
+	}
+	// Node returns to idle once the job exits (window still open).
+	if e.Cluster().State(0) != cluster.Idle && e.Cluster().State(0) != cluster.Pilot {
+		t.Errorf("node state = %v, want idle (or pilot if re-placed)", e.Cluster().State(0))
+	}
+}
+
+func TestNoHandlerDiesAtSigterm(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 30 * time.Minute, DeclaredEnd: 30 * time.Minute,
+	}))
+	var ended des.Time
+	spec := fixedPilot(4 * time.Minute)
+	spec.OnEnd = func(j *Job, r EndReason) { ended = sim.Now() }
+	e.Submit(spec)
+	e.Start()
+	sim.RunUntil(10 * time.Minute)
+	if ended == 0 {
+		t.Fatal("job never ended")
+	}
+	// Ends exactly at its granted limit (start ≈ 15.x s + 4m).
+	if d := ended - 4*time.Minute; d < 15*time.Second || d > 90*time.Second {
+		t.Errorf("ended at %v, want ≈ start + 4m", ended)
+	}
+}
+
+func TestRollingSlotAfterDeclaredEndPasses(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	// Declared end underestimates: window "expires" at 4m but the node
+	// stays idle until 30m. The scheduler keeps placing 2-minute jobs.
+	e.DriveTrace(oneNodeTrace(workload.IdlePeriod{
+		Node: 0, Start: 0, End: 30 * time.Minute, DeclaredEnd: 4 * time.Minute,
+	}))
+	starts := 0
+	for i := 0; i < 20; i++ {
+		spec := fixedPilot(2 * time.Minute)
+		spec.OnStart = func(j *Job) { starts++ }
+		spec.OnSigterm = func(j *Job, at des.Time) { sim.After(time.Second, j.Exit) }
+		e.Submit(spec)
+	}
+	e.Start()
+	sim.RunUntil(30 * time.Minute)
+	if starts < 8 {
+		t.Errorf("only %d rolling-slot starts in 30 minutes, want ≥8", starts)
+	}
+}
+
+func TestCancelPendingJob(t *testing.T) {
+	sim, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace())
+	j := e.Submit(fixedPilot(2 * time.Minute))
+	if e.QueuedPilots() != 1 {
+		t.Fatalf("queued = %d", e.QueuedPilots())
+	}
+	if !e.Cancel(j) {
+		t.Fatal("cancel failed")
+	}
+	if e.QueuedPilots() != 0 {
+		t.Errorf("queued after cancel = %d", e.QueuedPilots())
+	}
+	if j.State != Done || j.Reason != ReasonCancelled {
+		t.Errorf("state/reason = %v/%v", j.State, j.Reason)
+	}
+	if e.Cancel(j) {
+		t.Error("double cancel should fail")
+	}
+	sim.Run()
+}
+
+func TestQueuedPilotsByLimit(t *testing.T) {
+	_, e := newEmu(t, 1)
+	e.DriveTrace(oneNodeTrace())
+	e.Submit(fixedPilot(2 * time.Minute))
+	e.Submit(fixedPilot(2 * time.Minute))
+	e.Submit(fixedPilot(6 * time.Minute))
+	got := e.QueuedPilotsByLimit()
+	if got[2*time.Minute] != 2 || got[6*time.Minute] != 1 {
+		t.Errorf("by-limit = %v", got)
+	}
+}
+
+func TestUnknownPartitionPanics(t *testing.T) {
+	_, e := newEmu(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown partition should panic")
+		}
+	}()
+	e.Submit(JobSpec{Partition: "nope", TimeLimit: time.Minute})
+}
+
+func TestPassCostDelaysCadence(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.PassPerVarJob = time.Second // 100 var jobs → 100 s passes
+	e := New(sim, 4, cfg)
+	e.AddPartition(Partition{Name: pilotPart, PriorityTier: 0})
+	tr := &workload.Trace{Nodes: 4, Horizon: time.Hour}
+	e.DriveTrace(tr)
+	for i := 0; i < 100; i++ {
+		e.Submit(JobSpec{
+			Name: "var", Partition: pilotPart, Nodes: 1,
+			TimeMin: 2 * time.Minute, TimeLimit: 2 * time.Hour,
+		})
+	}
+	e.Start()
+	// Count passes via pass cost: run 10 minutes; with ~100.5 s per
+	// pass the scheduler manages only ~6 passes instead of 40.
+	sim.RunUntil(10 * time.Minute)
+	// All jobs still queued (no idle nodes), so cost stayed high. The
+	// observable effect: the emulator is still alive and did not run 40
+	// passes' worth of event load. Validate indirectly via QueuedPilots.
+	if e.QueuedPilots() != 100 {
+		t.Errorf("queue changed without idle nodes: %d", e.QueuedPilots())
+	}
+}
+
+// TestFigure3Schedule reproduces the motivating example of Fig. 3: four
+// prime jobs on five nodes yield the published schedule shape (makespan
+// 20 min) with substantial idle time for pilots to fill.
+func TestFigure3Schedule(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.SchedInterval = time.Second
+	cfg.PassBase = 10 * time.Millisecond
+	e := New(sim, 5, cfg)
+	e.AddPartition(Partition{Name: primePart, PriorityTier: 1})
+
+	mins := func(m int) time.Duration { return time.Duration(m) * time.Minute }
+	starts := map[string]des.Time{}
+	submit := func(name string, nodes, runMin int) {
+		e.Submit(JobSpec{
+			Name: name, Partition: primePart, Nodes: nodes,
+			TimeLimit: mins(runMin), Runtime: mins(runMin),
+			OnStart: func(j *Job) { starts[name] = sim.Now() },
+		})
+	}
+	// Paper's example: job1 3 nodes × 5 min, job2 1 node × 13 min,
+	// job3 2 nodes × 7 min, job4 4 nodes × 8 min.
+	submit("j1", 3, 5)
+	submit("j2", 1, 13)
+	submit("j3", 2, 7)
+	submit("j4", 4, 8)
+	e.Start()
+	sim.RunUntil(40 * time.Minute)
+
+	within := func(name string, want time.Duration) {
+		t.Helper()
+		got, ok := starts[name]
+		if !ok {
+			t.Fatalf("%s never started", name)
+		}
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 15*time.Second {
+			t.Errorf("%s started at %v, want ≈%v", name, got, want)
+		}
+	}
+	within("j1", 0)
+	within("j2", 0)
+	within("j3", 5*time.Minute)  // after j1 frees 3 nodes
+	within("j4", 12*time.Minute) // after j3 frees its 2 nodes
+	// Makespan ≈ 20 min.
+	end := starts["j4"] + mins(8)
+	if end < 19*time.Minute || end > 21*time.Minute {
+		t.Errorf("makespan = %v, want ≈20m", end)
+	}
+}
+
+// TestPrimePreemptsPilot verifies tier-1 jobs reclaim pilot nodes.
+func TestPrimePreemptsPilot(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.SchedInterval = time.Second
+	cfg.PassBase = 10 * time.Millisecond
+	e := New(sim, 2, cfg)
+	e.AddPartition(Partition{Name: pilotPart, PriorityTier: 0})
+	e.AddPartition(Partition{Name: primePart, PriorityTier: 1})
+
+	var preempted bool
+	pilotSpec := JobSpec{
+		Name: "pilot", Partition: pilotPart, Nodes: 1,
+		TimeLimit: 90 * time.Minute,
+		OnSigterm: func(j *Job, at des.Time) { sim.After(time.Second, j.Exit) },
+		OnEnd:     func(j *Job, r EndReason) { preempted = r == ReasonPreempted },
+	}
+	e.Submit(pilotSpec)
+	e.Submit(pilotSpec)
+	e.Start()
+	sim.RunUntil(time.Minute)
+	if e.Cluster().Count(cluster.Pilot) != 2 {
+		t.Fatalf("pilots running = %d, want 2", e.Cluster().Count(cluster.Pilot))
+	}
+	// A prime job needing both nodes preempts both pilots.
+	e.Submit(JobSpec{
+		Name: "prime", Partition: primePart, Nodes: 2,
+		TimeLimit: 10 * time.Minute, Runtime: 10 * time.Minute,
+	})
+	sim.RunUntil(3 * time.Minute)
+	if e.Cluster().Count(cluster.Busy) != 2 {
+		t.Errorf("busy = %d, want 2", e.Cluster().Count(cluster.Busy))
+	}
+	if !preempted {
+		t.Error("pilot not preempted by prime job")
+	}
+	if e.Preempted < 2 {
+		t.Errorf("preempted counter = %d, want 2", e.Preempted)
+	}
+}
+
+// TestBackfillDoesNotDelayHead: a wide head job reserves; a long narrow
+// job must not start if it would push the head's start back.
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.SchedInterval = time.Second
+	cfg.PassBase = 10 * time.Millisecond
+	e := New(sim, 4, cfg)
+	e.AddPartition(Partition{Name: primePart, PriorityTier: 1})
+
+	starts := map[string]des.Time{}
+	submit := func(name string, nodes, limitMin, runMin int) {
+		e.Submit(JobSpec{
+			Name: name, Partition: primePart, Nodes: nodes,
+			TimeLimit: time.Duration(limitMin) * time.Minute,
+			Runtime:   time.Duration(runMin) * time.Minute,
+			OnStart:   func(j *Job) { starts[name] = sim.Now() },
+		})
+	}
+	submit("running", 3, 10, 10) // occupies 3 of 4 nodes until t=10m
+	e.Start()
+	sim.RunUntil(2 * time.Second)
+	submit("head", 4, 10, 10) // needs all nodes → shadow = 10m
+	submit("short", 1, 8, 8)  // fits before the shadow → backfill OK
+	submit("long", 1, 30, 30) // would overrun the shadow on the last free node
+	sim.RunUntil(30 * time.Minute)
+
+	if _, ok := starts["short"]; !ok {
+		t.Fatal("short job was not backfilled")
+	}
+	if starts["short"] > 5*time.Second+2*time.Second {
+		t.Errorf("short started at %v, want immediately", starts["short"])
+	}
+	if got := starts["head"]; got < 9*time.Minute || got > 11*time.Minute {
+		t.Errorf("head started at %v, want ≈10m", got)
+	}
+	if starts["long"] < starts["head"] {
+		t.Errorf("long (%v) started before head (%v): backfill delayed the head",
+			starts["long"], starts["head"])
+	}
+}
+
+// TestTraceModeCoverageSanity runs a realistic small trace end to end and
+// checks the pilots cover a meaningful share of idle time.
+func TestTraceModeCoverageSanity(t *testing.T) {
+	sim := des.New()
+	e := New(sim, 64, DefaultConfig())
+	e.AddPartition(Partition{Name: pilotPart, PriorityTier: 0})
+	cfg := workload.DefaultIdleProcess(64, 4*time.Hour, 21)
+	cfg.MeanIdleNodes = 6
+	tr := cfg.Generate()
+	e.DriveTrace(tr)
+
+	// Keep a supply of fib-like pilots.
+	lengths := []time.Duration{2, 4, 6, 8, 14, 22, 34, 56, 90}
+	var pilotTime time.Duration
+	var replenish func()
+	submitOne := func(l time.Duration) {
+		e.Submit(JobSpec{
+			Name: "pilot", Partition: pilotPart, Nodes: 1,
+			TimeLimit: l * time.Minute, Priority: int64(l),
+			OnSigterm: func(j *Job, at des.Time) { sim.After(2*time.Second, j.Exit) },
+			OnEnd: func(j *Job, r EndReason) {
+				if j.Started > 0 {
+					pilotTime += j.Ended - j.Started
+				}
+			},
+		})
+	}
+	replenish = func() {
+		byLimit := e.QueuedPilotsByLimit()
+		for _, l := range lengths {
+			for byLimit[l*time.Minute] < 10 {
+				submitOne(l)
+				byLimit[l*time.Minute]++
+			}
+		}
+	}
+	sim.EveryFrom(0, 15*time.Second, replenish)
+	e.Start()
+	sim.RunUntil(4 * time.Hour)
+
+	idleSurface := tr.TotalIdle()
+	cov := float64(pilotTime) / float64(idleSurface)
+	if cov < 0.5 || cov > 1.05 {
+		t.Errorf("pilot coverage = %.2f of idle surface, want 0.5–1.0", cov)
+	}
+	if e.Started < 20 {
+		t.Errorf("only %d pilots started", e.Started)
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketsConstantValue(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 5)
+	tw.Finish(3 * time.Minute)
+	got := tw.Buckets(time.Minute)
+	if len(got) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(got))
+	}
+	for i, v := range got {
+		if v != 5 {
+			t.Errorf("bucket %d = %v, want 5", i, v)
+		}
+	}
+}
+
+func TestBucketsStepChange(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 0)
+	tw.Observe(90*time.Second, 10)
+	tw.Finish(2 * time.Minute)
+	got := tw.Buckets(time.Minute)
+	if len(got) != 2 {
+		t.Fatalf("buckets = %d", len(got))
+	}
+	if got[0] != 0 {
+		t.Errorf("bucket 0 = %v, want 0", got[0])
+	}
+	// Minute 1: 30 s at 0, 30 s at 10 → 5.
+	if math.Abs(got[1]-5) > 1e-9 {
+		t.Errorf("bucket 1 = %v, want 5", got[1])
+	}
+}
+
+func TestBucketsPartialTail(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 4)
+	tw.Finish(90 * time.Second)
+	got := tw.Buckets(time.Minute)
+	if len(got) != 2 {
+		t.Fatalf("buckets = %d", len(got))
+	}
+	// The partial trailing bucket averages over its covered 30 s only.
+	if got[1] != 4 {
+		t.Errorf("partial bucket = %v, want 4", got[1])
+	}
+}
+
+func TestBucketsNonzeroStart(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(10*time.Minute, 7)
+	tw.Finish(12 * time.Minute)
+	got := tw.Buckets(time.Minute)
+	if len(got) != 2 || got[0] != 7 || got[1] != 7 {
+		t.Errorf("buckets = %v, want [7 7] anchored at first observation", got)
+	}
+}
+
+func TestBucketsEmpty(t *testing.T) {
+	var tw TimeWeighted
+	if got := tw.Buckets(time.Minute); got != nil {
+		t.Errorf("empty series buckets = %v", got)
+	}
+}
+
+func TestBucketsBadWidthPanics(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 1)
+	tw.Finish(time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width should panic")
+		}
+	}()
+	tw.Buckets(0)
+}
+
+// Property: the duration-weighted mean of bucket values (weighted by
+// covered time) equals the overall time mean.
+func TestPropertyBucketsPreserveMean(t *testing.T) {
+	f := func(vals []uint8, durs []uint8) bool {
+		n := len(vals)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		if n == 0 {
+			return true
+		}
+		var tw TimeWeighted
+		var at time.Duration
+		for i := 0; i < n; i++ {
+			tw.Observe(at, float64(vals[i]))
+			at += time.Duration(durs[i]+1) * time.Second
+		}
+		tw.Finish(at)
+		buckets := tw.Buckets(7 * time.Second)
+		// Reconstruct the mean from buckets: full buckets weigh 7 s,
+		// the last one the remainder.
+		total := tw.Duration()
+		var sum float64
+		var covered time.Duration
+		for i, v := range buckets {
+			w := 7 * time.Second
+			if rem := total - time.Duration(i)*7*time.Second; rem < w {
+				w = rem
+			}
+			sum += v * w.Seconds()
+			covered += w
+		}
+		if covered == 0 {
+			return true
+		}
+		mean := tw.TimeMean()
+		return math.Abs(sum/total.Seconds()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package whisk emulates the OpenWhisk FaaS middleware with the
+// HPC-Whisk modifications of §III: a controller that routes invocations
+// to invokers by action-name hash, per-invoker Kafka topics, a container
+// pool with cold/warm starts on each invoker — plus the paper's
+// extensions: dynamic invoker (de)registration, continuous worker status
+// reporting, and the global fast-lane topic used to hand off the queue
+// of a terminating invoker.
+package whisk
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/dist"
+)
+
+// ExecFunc models the in-container execution time of one invocation.
+type ExecFunc func(r *rand.Rand) time.Duration
+
+// FixedExec returns an ExecFunc with a constant duration.
+func FixedExec(d time.Duration) ExecFunc {
+	return func(*rand.Rand) time.Duration { return d }
+}
+
+// DistExec returns an ExecFunc drawing seconds from a distribution.
+func DistExec(d dist.Dist) ExecFunc {
+	return func(r *rand.Rand) time.Duration { return dist.Seconds(d, r) }
+}
+
+// Action is a deployed function.
+type Action struct {
+	Name     string
+	MemoryMB int
+	Exec     ExecFunc
+
+	// Interruptible marks the function safe to interrupt mid-execution
+	// and re-queue through the fast lane during an invoker hand-off
+	// (§III-C lets clients opt out for functions with non-atomic
+	// external side effects).
+	Interruptible bool
+}
+
+func (a *Action) hash() uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(a.Name))
+	return h.Sum32()
+}
+
+// Status classifies the outcome of an invocation.
+type Status uint8
+
+// Invocation outcomes. StatusPending is in flight; Status503 means the
+// controller had no healthy invoker (§III-E); StatusSuccess completed;
+// StatusFailed errored during execution (e.g. container-limit pressure);
+// StatusTimeout never returned within the action timeout (lost requests
+// surface here, as in the paper's "not finished" class).
+const (
+	StatusPending Status = iota
+	StatusSuccess
+	StatusFailed
+	StatusTimeout
+	Status503
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusSuccess:
+		return "success"
+	case StatusFailed:
+		return "failed"
+	case StatusTimeout:
+		return "timeout"
+	case Status503:
+		return "503"
+	default:
+		return "unknown"
+	}
+}
+
+// Invocation is one function call from submission to completion.
+type Invocation struct {
+	ID     int64
+	Action *Action
+
+	Submitted des.Time // client sent the request
+	Routed    des.Time // controller picked an invoker (or 503'd)
+	Executed  des.Time // execution started on a node
+	Completed des.Time // client received the outcome
+
+	Status    Status
+	ColdStart bool
+	Requeues  int // fast-lane hops before execution
+	InvokerID int // slot of the executing invoker, -1 if none
+
+	done      func(*Invocation)
+	timeoutEv *des.Event
+	execEv    *des.Event // completion event while executing (for interrupts)
+	invoker   *Invoker
+}
+
+// Latency returns the client-observed response time.
+func (inv *Invocation) Latency() time.Duration { return inv.Completed - inv.Submitted }

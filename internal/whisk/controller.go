@@ -1,0 +1,299 @@
+package whisk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/dist"
+)
+
+// ControllerConfig models the request path of the OpenWhisk controller.
+// The latency components are calibrated so that a 10 ms sleep function
+// completes in ≈0.8-0.9 s end to end, matching §V-C (median 865 ms) and
+// the SeBS observation the paper cites for short functions.
+type ControllerConfig struct {
+	IngressSeconds  dist.Dist     // client → controller (one way)
+	EgressSeconds   dist.Dist     // controller → client (one way)
+	ProcessSeconds  dist.Dist     // routing decision
+	OverheadSeconds dist.Dist     // activation bookkeeping (dominates)
+	ResultSeconds   dist.Dist     // invoker → controller result hop
+	StatusLatency   time.Duration // worker status propagation delay
+	ActionTimeout   time.Duration // client-visible timeout
+
+	// FastLaneName is the global priority topic of §III-C.
+	FastLaneName string
+}
+
+// DefaultControllerConfig returns the calibrated request-path model.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		IngressSeconds:  dist.Uniform{Lo: 0.010, Hi: 0.040},
+		EgressSeconds:   dist.Uniform{Lo: 0.010, Hi: 0.040},
+		ProcessSeconds:  dist.Uniform{Lo: 0.002, Hi: 0.008},
+		OverheadSeconds: dist.Lognormal{Mu: math.Log(0.62), Sigma: 0.30},
+		ResultSeconds:   dist.Uniform{Lo: 0.010, Hi: 0.030},
+		StatusLatency:   500 * time.Millisecond,
+		ActionTimeout:   60 * time.Second,
+		FastLaneName:    "fastlane",
+	}
+}
+
+// Controller is the (modified) OpenWhisk controller: it routes
+// invocations to the home invoker derived from the action-name hash,
+// maintains the dynamic list of registered HPC-Whisk invokers, returns
+// 503 when none is healthy, and participates in the fast-lane hand-off.
+type Controller struct {
+	sim *des.Sim
+	b   *bus.Bus
+	cfg ControllerConfig
+	rng *rand.Rand
+
+	actions  map[string]*Action
+	slots    []*Invoker // nil entries are free slots
+	fastLane *bus.Topic
+
+	nextInvID int64
+
+	// OnComplete observes every finished invocation (for load
+	// generators and experiment accounting).
+	OnComplete func(*Invocation)
+
+	// Counters.
+	Total     int
+	N503      int
+	NSuccess  int
+	NFailed   int
+	NTimeout  int
+	Registers int
+	Removes   int
+	MovedToFL int
+}
+
+// NewController builds a controller over the given bus.
+func NewController(sim *des.Sim, b *bus.Bus, cfg ControllerConfig, seed int64) *Controller {
+	c := &Controller{
+		sim:     sim,
+		b:       b,
+		cfg:     cfg,
+		rng:     dist.NewRand(seed),
+		actions: map[string]*Action{},
+	}
+	c.fastLane = b.Topic(cfg.FastLaneName)
+	return c
+}
+
+// Sim exposes the simulation handle.
+func (c *Controller) Sim() *des.Sim { return c.sim }
+
+// Bus exposes the message bus.
+func (c *Controller) Bus() *bus.Bus { return c.b }
+
+// FastLane exposes the global priority topic.
+func (c *Controller) FastLane() *bus.Topic { return c.fastLane }
+
+// RegisterAction deploys a function.
+func (c *Controller) RegisterAction(a *Action) {
+	if _, dup := c.actions[a.Name]; dup {
+		panic(fmt.Sprintf("whisk: action %q already registered", a.Name))
+	}
+	c.actions[a.Name] = a
+}
+
+// Action returns a deployed function by name.
+func (c *Controller) Action(name string) *Action { return c.actions[name] }
+
+// HealthyCount returns the number of invokers accepting work.
+func (c *Controller) HealthyCount() int {
+	n := 0
+	for _, inv := range c.slots {
+		if inv != nil && inv.state == InvokerHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Invoke submits a call to the named action; done fires exactly once
+// with the final status. It returns the tracked invocation.
+func (c *Controller) Invoke(name string, done func(*Invocation)) *Invocation {
+	a, ok := c.actions[name]
+	if !ok {
+		panic(fmt.Sprintf("whisk: unknown action %q", name))
+	}
+	inv := &Invocation{
+		ID:        c.nextInvID,
+		Action:    a,
+		Submitted: c.sim.Now(),
+		InvokerID: -1,
+		done:      done,
+	}
+	c.nextInvID++
+	c.Total++
+	ingress := dist.Seconds(c.cfg.IngressSeconds, c.rng) + dist.Seconds(c.cfg.ProcessSeconds, c.rng)
+	c.sim.After(ingress, func() { c.route(inv) })
+	return inv
+}
+
+// route picks the home invoker (hash + forward probing over the slot
+// array, as OpenWhisk does) or completes with 503 if none is healthy.
+func (c *Controller) route(inv *Invocation) {
+	inv.Routed = c.sim.Now()
+	target := c.pickInvoker(inv.Action)
+	if target == nil {
+		c.complete(inv, Status503)
+		return
+	}
+	// Activation bookkeeping (the dominant fixed cost of the request
+	// path), then the message lands on the invoker's topic.
+	overhead := dist.Seconds(c.cfg.OverheadSeconds, c.rng)
+	c.sim.After(overhead, func() {
+		c.b.Publish(target.TopicName(), inv)
+		c.armTimeout(inv)
+	})
+}
+
+// pickInvoker routes to the action's home invoker (hash + forward
+// probing over the slot array). If the home invoker is saturated (its
+// buffer has less than half its limit free), the probe continues to a
+// less-loaded healthy invoker — the load-balancing role of §II — and
+// falls back to the home invoker when every candidate is saturated.
+func (c *Controller) pickInvoker(a *Action) *Invoker {
+	n := len(c.slots)
+	if n == 0 {
+		return nil
+	}
+	start := int(a.hash()) % n
+	var home *Invoker
+	for i := 0; i < n; i++ {
+		inv := c.slots[(start+i)%n]
+		if inv == nil || inv.state != InvokerHealthy {
+			continue
+		}
+		if home == nil {
+			home = inv
+		}
+		if inv.Buffered() < inv.cfg.BufferLimit/2 {
+			return inv
+		}
+	}
+	return home
+}
+
+func (c *Controller) armTimeout(inv *Invocation) {
+	inv.timeoutEv = c.sim.After(c.cfg.ActionTimeout, func() {
+		c.complete(inv, StatusTimeout)
+	})
+}
+
+// finishFromInvoker is called by invokers on execution completion; the
+// result travels back through the result hop before the client sees it.
+func (c *Controller) finishFromInvoker(inv *Invocation, ok bool) {
+	d := dist.Seconds(c.cfg.ResultSeconds, c.rng)
+	c.sim.After(d, func() {
+		if ok {
+			c.complete(inv, StatusSuccess)
+		} else {
+			c.complete(inv, StatusFailed)
+		}
+	})
+}
+
+// complete finalizes an invocation exactly once.
+func (c *Controller) complete(inv *Invocation, status Status) {
+	if inv.Status != StatusPending {
+		return
+	}
+	if inv.timeoutEv != nil {
+		inv.timeoutEv.Stop()
+		inv.timeoutEv = nil
+	}
+	inv.Status = status
+	egress := dist.Seconds(c.cfg.EgressSeconds, c.rng)
+	c.sim.After(egress, func() {
+		inv.Completed = c.sim.Now()
+		switch status {
+		case Status503:
+			c.N503++
+		case StatusSuccess:
+			c.NSuccess++
+		case StatusFailed:
+			c.NFailed++
+		case StatusTimeout:
+			c.NTimeout++
+		}
+		if c.OnComplete != nil {
+			c.OnComplete(inv)
+		}
+		if inv.done != nil {
+			inv.done(inv)
+		}
+	})
+}
+
+// Register adds an invoker to the dynamic slot list (lowest free slot,
+// as the HPC-Whisk controller maintains a dense dynamic invoker list)
+// and returns its slot id. The invoker starts polling immediately.
+func (c *Controller) Register(inv *Invoker) int {
+	slot := -1
+	for i, s := range c.slots {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(c.slots)
+		c.slots = append(c.slots, nil)
+	}
+	c.slots[slot] = inv
+	inv.attach(c, slot)
+	c.Registers++
+	return slot
+}
+
+// SetDraining marks an invoker as leaving: the controller stops routing
+// to it and, after the status-propagation latency, moves the unpulled
+// messages from its topic to the fast lane (§III-C: "the controller
+// moves all the unpulled requests from the worker's Kafka topic to the
+// fast lane topic").
+func (c *Controller) SetDraining(inv *Invoker) {
+	c.sim.After(c.cfg.StatusLatency, func() {
+		c.MovedToFL += inv.topic.MoveAll(c.fastLane)
+	})
+}
+
+// Deregister removes an invoker from the slot list. Any stragglers left
+// on its topic move to the fast lane first.
+func (c *Controller) Deregister(inv *Invoker) {
+	c.MovedToFL += inv.topic.MoveAll(c.fastLane)
+	for i, s := range c.slots {
+		if s == inv {
+			c.slots[i] = nil
+		}
+	}
+	c.Removes++
+}
+
+// DeregisterLossy removes an invoker without rescuing its topic: the
+// unmodified-OpenWhisk behavior where a vanished worker's requests are
+// never processed and time out (§II). Used by Invoker.Kill for the
+// no-hand-off ablation.
+func (c *Controller) DeregisterLossy(inv *Invoker) {
+	for i, s := range c.slots {
+		if s == inv {
+			c.slots[i] = nil
+		}
+	}
+	c.Removes++
+}
+
+// requeueFastLane is used by invokers handing off buffered or
+// interrupted work.
+func (c *Controller) requeueFastLane(msgs []*bus.Message) {
+	c.fastLane.Requeue(msgs)
+	c.MovedToFL += len(msgs)
+}

@@ -1,0 +1,395 @@
+package whisk
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/dist"
+)
+
+// InvokerState is the controller-visible status of a worker, reported
+// continuously by the extended status messages of §III-C.
+type InvokerState uint8
+
+// Worker states: Healthy accepts and executes work; Draining received
+// SIGTERM and hands off its queue; Gone deregistered (or was killed).
+const (
+	InvokerHealthy InvokerState = iota
+	InvokerDraining
+	InvokerGone
+)
+
+// String implements fmt.Stringer.
+func (s InvokerState) String() string {
+	switch s {
+	case InvokerHealthy:
+		return "healthy"
+	case InvokerDraining:
+		return "draining"
+	case InvokerGone:
+		return "gone"
+	default:
+		return "unknown"
+	}
+}
+
+// InvokerConfig models one OpenWhisk invoker on a cluster node.
+type InvokerConfig struct {
+	// Capacity is the maximum number of concurrently running container
+	// processes (the limit whose saturation caused failed invocations
+	// in §V-C).
+	Capacity int
+
+	// PoolLimit caps total containers (warm idle + running); creating
+	// past it evicts the least-recently-used idle container.
+	PoolLimit int
+
+	// PollInterval is the topic-pull period; the fast lane is always
+	// pulled before the invoker's own topic (§III-C).
+	PollInterval time.Duration
+
+	// PullBatch bounds messages taken per poll.
+	PullBatch int
+
+	// BufferLimit bounds the internal buffer; arrivals beyond it fail
+	// immediately (container-limit pressure).
+	BufferLimit int
+
+	ColdStartSeconds dist.Dist // container creation (≈0.5 s, §II)
+	WarmStartSeconds dist.Dist // dispatch into a warm container
+
+	// FailureProb is the base probability an execution errors.
+	FailureProb float64
+}
+
+// DefaultInvokerConfig returns a Prometheus-node-like invoker model
+// (24-core node hosting up to 16 concurrent function containers).
+func DefaultInvokerConfig() InvokerConfig {
+	return InvokerConfig{
+		Capacity:         16,
+		PoolLimit:        48,
+		PollInterval:     100 * time.Millisecond,
+		PullBatch:        16,
+		BufferLimit:      128,
+		ColdStartSeconds: dist.Uniform{Lo: 0.35, Hi: 0.70},
+		WarmStartSeconds: dist.Uniform{Lo: 0.005, Hi: 0.025},
+		FailureProb:      0.01,
+	}
+}
+
+// Invoker executes invocations on one node. It pulls the global fast
+// lane before its own topic, keeps per-action warm containers, and
+// implements the hand-off protocol when its pilot job gets SIGTERM.
+type Invoker struct {
+	cfg InvokerConfig
+	rng *rand.Rand
+
+	ctrl  *Controller
+	slot  int
+	topic *bus.Topic
+	state InvokerState
+
+	buffer  []*bus.Message
+	running []*Invocation // insertion order (determinism matters)
+
+	pool       map[string]*containerSet
+	containers int // total containers (idle + busy)
+
+	ticker *des.Ticker
+
+	onDrained func()
+
+	// Counters.
+	Executed   int
+	Failed     int
+	ColdStarts int
+	WarmStarts int
+	Rejected   int
+	Requeued   int
+}
+
+type containerSet struct {
+	idle     int
+	busy     int
+	lastUsed des.Time
+}
+
+// NewInvoker builds an invoker; it is inert until registered with a
+// controller.
+func NewInvoker(cfg InvokerConfig, seed int64) *Invoker {
+	if cfg.Capacity <= 0 {
+		panic("whisk: invoker needs capacity")
+	}
+	return &Invoker{
+		cfg:   cfg,
+		rng:   dist.NewRand(seed),
+		slot:  -1,
+		state: InvokerGone,
+		pool:  map[string]*containerSet{},
+	}
+}
+
+// attach is called by Controller.Register.
+func (w *Invoker) attach(c *Controller, slot int) {
+	w.ctrl = c
+	w.slot = slot
+	w.state = InvokerHealthy
+	w.topic = c.b.Topic(fmt.Sprintf("invoker%d", slot))
+	w.topic.OnDelivery(w.poll)
+	w.ticker = c.sim.Every(w.cfg.PollInterval, w.poll)
+}
+
+// Slot returns the controller slot id (-1 if unregistered).
+func (w *Invoker) Slot() int { return w.slot }
+
+// State returns the worker status.
+func (w *Invoker) State() InvokerState { return w.state }
+
+// TopicName returns the invoker's private topic name.
+func (w *Invoker) TopicName() string { return w.topic.Name() }
+
+// Running returns the number of in-flight executions.
+func (w *Invoker) Running() int { return len(w.running) }
+
+// Buffered returns the number of pulled-but-not-started messages.
+func (w *Invoker) Buffered() int { return len(w.buffer) }
+
+// poll pulls the fast lane first, then the invoker's own topic, and
+// dispatches as capacity allows (§III-C).
+func (w *Invoker) poll() {
+	if w.state != InvokerHealthy {
+		return
+	}
+	room := w.cfg.BufferLimit - len(w.buffer)
+	batch := w.cfg.PullBatch
+	if batch > room {
+		batch = room
+	}
+	if batch > 0 {
+		msgs := w.ctrl.fastLane.Pull(batch)
+		if len(msgs) < batch {
+			msgs = append(msgs, w.topic.Pull(batch-len(msgs))...)
+		}
+		w.buffer = append(w.buffer, msgs...)
+	}
+	// Container-limit pressure: drop what cannot even be buffered.
+	if room <= 0 {
+		for _, m := range w.topic.Pull(w.cfg.PullBatch) {
+			inv := m.Payload.(*Invocation)
+			w.Rejected++
+			w.ctrl.finishFromInvoker(inv, false)
+		}
+	}
+	w.dispatch()
+}
+
+func (w *Invoker) dispatch() {
+	for len(w.buffer) > 0 && len(w.running) < w.cfg.Capacity {
+		m := w.buffer[0]
+		copy(w.buffer, w.buffer[1:])
+		w.buffer[len(w.buffer)-1] = nil
+		w.buffer = w.buffer[:len(w.buffer)-1]
+		inv := m.Payload.(*Invocation)
+		if inv.Status != StatusPending {
+			continue // already timed out at the controller
+		}
+		w.execute(inv)
+	}
+}
+
+func (w *Invoker) execute(inv *Invocation) {
+	sim := w.ctrl.sim
+	inv.invoker = w
+	inv.InvokerID = w.slot
+	w.running = append(w.running, inv)
+
+	start := w.acquireContainer(inv)
+	inv.ColdStart = inv.ColdStart || start.cold
+
+	body := inv.Action.Exec(w.rng)
+	total := start.delay + body
+	inv.execEv = sim.After(total, func() {
+		inv.execEv = nil
+		inv.Executed = sim.Now() - body // execution body began after startup
+		w.removeRunning(inv)
+		w.releaseContainer(inv.Action)
+		ok := w.rng.Float64() >= w.cfg.FailureProb
+		if ok {
+			w.Executed++
+		} else {
+			w.Failed++
+		}
+		w.ctrl.finishFromInvoker(inv, ok)
+		if w.state == InvokerHealthy {
+			w.dispatch()
+		} else {
+			w.maybeDrained()
+		}
+	})
+}
+
+type containerStart struct {
+	cold  bool
+	delay time.Duration
+}
+
+// acquireContainer finds or creates a container for the action.
+func (w *Invoker) acquireContainer(inv *Invocation) containerStart {
+	now := w.ctrl.sim.Now()
+	cs := w.pool[inv.Action.Name]
+	if cs == nil {
+		cs = &containerSet{}
+		w.pool[inv.Action.Name] = cs
+	}
+	cs.lastUsed = now
+	if cs.idle > 0 {
+		cs.idle--
+		cs.busy++
+		w.WarmStarts++
+		return containerStart{cold: false, delay: dist.Seconds(w.cfg.WarmStartSeconds, w.rng)}
+	}
+	// Need a new container; evict an idle one if the pool is full.
+	if w.containers >= w.cfg.PoolLimit {
+		w.evictLRUIdle()
+	}
+	w.containers++
+	cs.busy++
+	w.ColdStarts++
+	return containerStart{cold: true, delay: dist.Seconds(w.cfg.ColdStartSeconds, w.rng)}
+}
+
+func (w *Invoker) releaseContainer(a *Action) {
+	cs := w.pool[a.Name]
+	if cs == nil || cs.busy == 0 {
+		return
+	}
+	cs.busy--
+	cs.idle++
+}
+
+func (w *Invoker) evictLRUIdle() {
+	var victim *containerSet
+	var victimName string
+	for name, cs := range w.pool {
+		if cs.idle == 0 {
+			continue
+		}
+		if victim == nil || cs.lastUsed < victim.lastUsed ||
+			(cs.lastUsed == victim.lastUsed && name < victimName) {
+			victim = cs
+			victimName = name
+		}
+	}
+	if victim != nil {
+		victim.idle--
+		w.containers--
+	}
+}
+
+func (w *Invoker) removeRunning(inv *Invocation) {
+	for i, r := range w.running {
+		if r == inv {
+			w.running = append(w.running[:i], w.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// Sigterm runs the hand-off protocol of §III-C: stop accepting work,
+// notify the controller (which moves unpulled topic messages to the
+// fast lane), flush the internal buffer to the fast lane, optionally
+// interrupt running executions of interrupt-safe actions, and call
+// onDrained once nothing local remains.
+func (w *Invoker) Sigterm(interruptRunning bool, onDrained func()) {
+	if w.state != InvokerHealthy {
+		return
+	}
+	w.state = InvokerDraining
+	w.onDrained = onDrained
+	w.ticker.Stop()
+	w.ctrl.SetDraining(w)
+
+	// Flush the unexecuted buffer to the fast lane.
+	if len(w.buffer) > 0 {
+		w.Requeued += len(w.buffer)
+		for _, m := range w.buffer {
+			m.Payload.(*Invocation).Requeues++
+		}
+		w.ctrl.requeueFastLane(w.buffer)
+		w.buffer = nil
+	}
+
+	if interruptRunning {
+		snapshot := append([]*Invocation(nil), w.running...)
+		for _, inv := range snapshot {
+			if !inv.Action.Interruptible {
+				continue
+			}
+			if inv.execEv != nil {
+				inv.execEv.Stop()
+				inv.execEv = nil
+			}
+			w.removeRunning(inv)
+			w.releaseContainer(inv.Action)
+			inv.Requeues++
+			inv.invoker = nil
+			w.Requeued++
+			m := &bus.Message{Payload: inv, TopicName: w.ctrl.fastLane.Name()}
+			w.ctrl.requeueFastLane([]*bus.Message{m})
+		}
+	}
+	w.maybeDrained()
+}
+
+func (w *Invoker) maybeDrained() {
+	if w.state == InvokerDraining && len(w.running) == 0 && len(w.buffer) == 0 {
+		w.deregister()
+	}
+}
+
+// deregister completes the hand-off: the worker leaves the slot list.
+func (w *Invoker) deregister() {
+	if w.state == InvokerGone {
+		return
+	}
+	w.state = InvokerGone
+	w.ctrl.Deregister(w)
+	if w.onDrained != nil {
+		fn := w.onDrained
+		w.onDrained = nil
+		fn()
+	}
+}
+
+// Kill models SIGKILL with work still on board (no graceful hand-off,
+// e.g. the ablation without the HPC-Whisk modifications): buffered and
+// running invocations are lost and surface as controller timeouts.
+func (w *Invoker) Kill() {
+	if w.state == InvokerGone {
+		return
+	}
+	if w.ticker != nil {
+		w.ticker.Stop()
+	}
+	for _, inv := range w.running {
+		if inv.execEv != nil {
+			inv.execEv.Stop()
+			inv.execEv = nil
+		}
+	}
+	w.running = nil
+	w.buffer = nil
+	w.state = InvokerGone
+	// A killed worker cannot hand anything off: its topic messages rot
+	// until the controller-side timeouts fire, exactly the unmodified-
+	// OpenWhisk failure mode described in §II.
+	w.ctrl.DeregisterLossy(w)
+	if w.onDrained != nil {
+		fn := w.onDrained
+		w.onDrained = nil
+		fn()
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload generates and analyzes the workloads of the HPC-Whisk
+// reproduction: the per-node idle-availability trace standing in for the
+// Prometheus production logs of §I (Fig. 1), and the HPC job stream of
+// Fig. 2. Both are calibrated against the statistics published in the
+// paper and verified by tests.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// IdlePeriod is one contiguous idle interval of one node. Start and End
+// delimit the actual idleness; DeclaredEnd is the end the cluster
+// scheduler believes in at Start (its view of when the next prime job
+// will claim the node). DeclaredEnd < End models surprise extensions
+// (a prime job finished early elsewhere, the planned start slipped);
+// DeclaredEnd > End models surprise reclaims that preempt pilot jobs.
+type IdlePeriod struct {
+	Node        int
+	Start       time.Duration
+	End         time.Duration
+	DeclaredEnd time.Duration
+}
+
+// Len returns the actual length of the period.
+func (p IdlePeriod) Len() time.Duration { return p.End - p.Start }
+
+// Trace is a whole-cluster idle-availability trace over a horizon.
+type Trace struct {
+	Nodes   int
+	Horizon time.Duration
+	Periods []IdlePeriod // sorted by Start
+}
+
+// Sort orders the periods by start time (ties by node id).
+func (t *Trace) Sort() {
+	sort.Slice(t.Periods, func(i, j int) bool {
+		if t.Periods[i].Start != t.Periods[j].Start {
+			return t.Periods[i].Start < t.Periods[j].Start
+		}
+		return t.Periods[i].Node < t.Periods[j].Node
+	})
+}
+
+// Validate checks internal consistency: periods within the horizon, nodes
+// in range, per-node periods non-overlapping.
+func (t *Trace) Validate() error {
+	lastEnd := make([]time.Duration, t.Nodes)
+	byNode := t.PerNode()
+	for node, idxs := range byNode {
+		for _, i := range idxs {
+			p := t.Periods[i]
+			if p.Node != node {
+				return fmt.Errorf("workload: period %d filed under node %d but belongs to %d", i, node, p.Node)
+			}
+			if p.Start < 0 || p.End > t.Horizon || p.End <= p.Start {
+				return fmt.Errorf("workload: period %d has bad bounds [%v,%v)", i, p.Start, p.End)
+			}
+			if p.Start < lastEnd[node] {
+				return fmt.Errorf("workload: node %d periods overlap at %v", node, p.Start)
+			}
+			lastEnd[node] = p.End
+		}
+	}
+	return nil
+}
+
+// PerNode returns, for each node, the indices of its periods in start
+// order.
+func (t *Trace) PerNode() [][]int {
+	out := make([][]int, t.Nodes)
+	for i, p := range t.Periods {
+		out[p.Node] = append(out[p.Node], i)
+	}
+	for _, idxs := range out {
+		sort.Slice(idxs, func(a, b int) bool { return t.Periods[idxs[a]].Start < t.Periods[idxs[b]].Start })
+	}
+	return out
+}
+
+// IdleCount returns the piecewise-constant number of simultaneously idle
+// nodes over the horizon, built by an event sweep. This regenerates
+// Fig. 1a (its time-weighted distribution) and Fig. 1c (the series).
+func (t *Trace) IdleCount() *stats.TimeWeighted {
+	type ev struct {
+		at    time.Duration
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(t.Periods))
+	for _, p := range t.Periods {
+		evs = append(evs, ev{p.Start, +1}, ev{p.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // ends before starts at the same instant
+	})
+	var tw stats.TimeWeighted
+	tw.Observe(0, 0)
+	n := 0
+	for _, e := range evs {
+		n += e.delta
+		tw.Observe(e.at, float64(n))
+	}
+	tw.Finish(t.Horizon)
+	return &tw
+}
+
+// PeriodLengths returns the sample of idle-period lengths in seconds
+// (Fig. 1b).
+func (t *Trace) PeriodLengths() *stats.Sample {
+	var s stats.Sample
+	for _, p := range t.Periods {
+		s.AddDuration(p.Len())
+	}
+	return &s
+}
+
+// TotalIdle returns the summed idle node-time of the trace (the paper's
+// "idle surface"; §I reports 37,000 core-hours ≈ 1,541 node-hours/day on
+// 24-core nodes over a week).
+func (t *Trace) TotalIdle() time.Duration {
+	var total time.Duration
+	for _, p := range t.Periods {
+		total += p.Len()
+	}
+	return total
+}
+
+// SaturationShare returns the fraction of the horizon with zero idle
+// nodes and the longest such stretch (§I: 10.11% and 1.55 h).
+func (t *Trace) SaturationShare() (share float64, longest time.Duration) {
+	tw := t.IdleCount()
+	zero := func(v float64) bool { return v == 0 }
+	return tw.FractionEqual(0), tw.LongestRunWhere(zero)
+}
+
+// WriteCSV serializes the trace as "node,start_s,end_s,declared_end_s"
+// rows preceded by a "#nodes,horizon_s" header comment.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#%d,%.3f\n", t.Nodes, t.Horizon.Seconds()); err != nil {
+		return err
+	}
+	for _, p := range t.Periods {
+		if _, err := fmt.Fprintf(bw, "%d,%.3f,%.3f,%.3f\n",
+			p.Node, p.Start.Seconds(), p.End.Seconds(), p.DeclaredEnd.Seconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	t := &Trace{}
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			var horizon float64
+			if _, err := fmt.Sscanf(line, "#%d,%f", &t.Nodes, &horizon); err != nil {
+				return nil, fmt.Errorf("workload: bad trace header %q: %w", line, err)
+			}
+			t.Horizon = time.Duration(horizon * float64(time.Second))
+			continue
+		}
+		var node int
+		var start, end, decl float64
+		if _, err := fmt.Sscanf(line, "%d,%f,%f,%f", &node, &start, &end, &decl); err != nil {
+			return nil, fmt.Errorf("workload: bad trace row %q: %w", line, err)
+		}
+		t.Periods = append(t.Periods, IdlePeriod{
+			Node:        node,
+			Start:       time.Duration(start * float64(time.Second)),
+			End:         time.Duration(end * float64(time.Second)),
+			DeclaredEnd: time.Duration(decl * float64(time.Second)),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("workload: empty trace stream")
+	}
+	t.Sort()
+	return t, nil
+}
+
+// Window clips the trace to [from, to), shifting times so the clip starts
+// at 0. Periods straddling the boundaries are truncated; their declared
+// ends are clipped likewise. Used to cut 24-hour experiment days out of a
+// week-long trace, as the paper does.
+func (t *Trace) Window(from, to time.Duration) *Trace {
+	if from < 0 || to > t.Horizon || to <= from {
+		panic(fmt.Sprintf("workload: bad window [%v,%v) of %v", from, to, t.Horizon))
+	}
+	out := &Trace{Nodes: t.Nodes, Horizon: to - from}
+	for _, p := range t.Periods {
+		if p.End <= from || p.Start >= to {
+			continue
+		}
+		q := p
+		if q.Start < from {
+			q.Start = from
+		}
+		if q.End > to {
+			q.End = to
+		}
+		if q.DeclaredEnd > to {
+			q.DeclaredEnd = to
+		}
+		if q.DeclaredEnd < q.Start {
+			q.DeclaredEnd = q.Start
+		}
+		q.Start -= from
+		q.End -= from
+		q.DeclaredEnd -= from
+		out.Periods = append(out.Periods, q)
+	}
+	out.Sort()
+	return out
+}
