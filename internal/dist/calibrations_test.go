@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWarmupCalibration checks the §IV-B registration-time model:
+// median 12.48 s, p95 26.50 s.
+func TestWarmupCalibration(t *testing.T) {
+	r := NewRand(21)
+	xs := sample(WarmupSeconds(), r, 100000)
+	if med := quantile(xs, 0.5); med < 11.8 || med > 13.2 {
+		t.Errorf("warm-up median = %.2f s, want ≈12.48", med)
+	}
+	if p95 := quantile(xs, 0.95); p95 < 25.0 || p95 > 28.0 {
+		t.Errorf("warm-up p95 = %.2f s, want ≈26.50", p95)
+	}
+	for _, x := range xs {
+		if x < 4 || x > 120 {
+			t.Fatalf("warm-up sample %v outside physical range", x)
+		}
+	}
+}
+
+// TestQueryLatencyCalibration checks the §IV-A polling-latency model:
+// a fixed 10 s gap must realize the reported 10.3-10.7 s spacing, so
+// the mean latency has to land in 0.3-0.7 s.
+func TestQueryLatencyCalibration(t *testing.T) {
+	r := NewRand(22)
+	xs := sample(QueryLatencySeconds(), r, 100000)
+	if m := mean(xs); m < 0.3 || m > 0.7 {
+		t.Errorf("query latency mean = %.3f s, want 0.3-0.7 (10.3-10.7 s spacing)", m)
+	}
+	for _, x := range xs {
+		if x <= 0 || x > 5 {
+			t.Fatalf("query latency %v out of range", x)
+		}
+	}
+}
+
+// TestDeclaredWalltimeCalibration checks the Fig. 2 declared-limit
+// markers: median exactly 60 min, ~3-5% under 15 min, p5 ≤ 15 min.
+func TestDeclaredWalltimeCalibration(t *testing.T) {
+	r := NewRand(23)
+	xs := sample(DeclaredWalltimeSeconds(), r, 100000)
+	if med := quantile(xs, 0.5); med != 3600 {
+		t.Errorf("median declared = %v s, want exactly 3600", med)
+	}
+	under15 := 0
+	for _, x := range xs {
+		if x < 15*60 {
+			under15++
+		}
+		if mins := x / 60; mins != math.Trunc(mins) {
+			t.Fatalf("declared limit %v s is not a whole minute", x)
+		}
+	}
+	if f := float64(under15) / float64(len(xs)); f < 0.01 || f > 0.07 {
+		t.Errorf("P(declared < 15 min) = %.4f, want ≈0.03-0.05", f)
+	}
+	if p5 := quantile(xs, 0.05); p5 > 15*60 {
+		t.Errorf("p5 declared = %v s, want ≤ 900", p5)
+	}
+}
+
+// TestRuntimeFractionCalibration checks the Fig. 2 runtime/limit
+// model: fractions in (0,1], a visible atom at exactly 1 (jobs cut off
+// at their limit), and a median well below 1.
+func TestRuntimeFractionCalibration(t *testing.T) {
+	r := NewRand(24)
+	xs := sample(RuntimeFraction(), r, 100000)
+	atOne := 0
+	for _, x := range xs {
+		if x <= 0 || x > 1 {
+			t.Fatalf("runtime fraction %v outside (0,1]", x)
+		}
+		if x == 1 {
+			atOne++
+		}
+	}
+	// 0.08 explicit atom plus the ≈0.07 of lognormal mass the clamp
+	// censors onto 1 — both model jobs cut off at their limit.
+	if f := float64(atOne) / float64(len(xs)); f < 0.10 || f > 0.20 {
+		t.Errorf("P(fraction = 1) = %.4f, want ≈0.15", f)
+	}
+	if med := quantile(xs, 0.5); med < 0.2 || med > 0.45 {
+		t.Errorf("median fraction = %.3f, want ≈0.30", med)
+	}
+}
+
+// TestIdlePeriodRegimeContrast checks the §I regime design: contended
+// periods are short with a thin tail, calm periods are longer with the
+// heavy Pareto tail that carries the aggregate's 5% > 23 min.
+func TestIdlePeriodRegimeContrast(t *testing.T) {
+	r := NewRand(25)
+	cont := sample(ContendedIdlePeriodSeconds(), r, 100000)
+	calm := sample(CalmIdlePeriodSeconds(), r, 100000)
+
+	tailShare := func(xs []float64, cut float64) float64 {
+		n := 0
+		for _, x := range xs {
+			if x > cut {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	if ct := tailShare(cont, 23*60); ct > 0.02 {
+		t.Errorf("contended P(>23min) = %.4f, want ≈0", ct)
+	}
+	if ct := tailShare(calm, 23*60); ct < 0.08 || ct > 0.25 {
+		t.Errorf("calm P(>23min) = %.4f, want the fat tail (≈0.1-0.2)", ct)
+	}
+	if mean(calm) < 2*mean(cont) {
+		t.Errorf("calm mean %.1f s should be well above contended mean %.1f s",
+			mean(calm), mean(cont))
+	}
+	// Heavier tail weight ⇒ strictly heavier tail, same alpha.
+	heavy := sample(CalmIdlePeriodTail(0.5, 1.55), NewRand(26), 100000)
+	if tailShare(heavy, 23*60) <= tailShare(calm, 23*60) {
+		t.Error("raising the tail weight did not raise the tail")
+	}
+}
+
+// TestSaturationPeriodCalibration checks saturation-window lengths:
+// minutes-scale, bounded near the observed 93-minute maximum.
+func TestSaturationPeriodCalibration(t *testing.T) {
+	r := NewRand(27)
+	xs := sample(SaturationPeriodSeconds(), r, 100000)
+	for _, x := range xs {
+		if x < 60 || x > 3600 {
+			t.Fatalf("saturation window %v s out of range", x)
+		}
+	}
+	if med := quantile(xs, 0.5); med < 5*60 || med > 10*60 {
+		t.Errorf("median saturation = %.0f s, want minutes-scale", med)
+	}
+}
+
+// TestGoldenSamples pins the first draws of every calibration
+// constructor under a fixed seed. A diff here means the calibration
+// (or the RNG plumbing) changed and every downstream table and figure
+// shifted with it — update the goldens only when that is intentional.
+func TestGoldenSamples(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dist
+		want [4]float64
+	}{
+		{"warmup", WarmupSeconds(), [4]float64{11.548488521724336, 10.00035927166669, 4.6485928332613131, 16.953397621367813}},
+		{"query-latency", QueryLatencySeconds(), [4]float64{0.38916520344940059, 0.33782343315685909, 0.15909831830957172, 0.56757609108443752}},
+		{"declared-walltime", DeclaredWalltimeSeconds(), [4]float64{43200, 7200, 3600, 1800}},
+		{"runtime-fraction", RuntimeFraction(), [4]float64{0.19884232359454562, 0.52983461210499994, 1, 0.16241349883997089}},
+		{"contended-period", ContendedIdlePeriodSeconds(), [4]float64{82.294732861068113, 57.325505794018419, 15, 215.87496120251663}},
+		{"calm-period", CalmIdlePeriodSeconds(), [4]float64{1518.8372686660205, 237.40669213259454, 1382.5298409213169, 2080.4498769332772}},
+		{"saturation-period", SaturationPeriodSeconds(), [4]float64{376.19766489290629, 306.664368616628, 103.34632916738636, 648.85286566656453}},
+	}
+	for _, tc := range cases {
+		r := NewRand(1)
+		for i, want := range tc.want {
+			got := tc.d.Sample(r)
+			if got != want {
+				t.Errorf("%s draw %d = %.17g, golden %.17g", tc.name, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// sample draws n values from d into a sorted-on-demand slice.
+func sample(d Dist, r *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+func quantile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestConstant(t *testing.T) {
+	r := NewRand(1)
+	d := Constant{Value: 3.25}
+	for i := 0; i < 10; i++ {
+		if v := d.Sample(r); v != 3.25 {
+			t.Fatalf("constant sampled %v", v)
+		}
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	r := NewRand(2)
+	d := Uniform{Lo: 2, Hi: 6}
+	xs := sample(d, r, 20000)
+	for _, x := range xs {
+		if x < 2 || x >= 6 {
+			t.Fatalf("uniform sample %v outside [2,6)", x)
+		}
+	}
+	if m := mean(xs); m < 3.9 || m > 4.1 {
+		t.Errorf("uniform mean = %.3f, want ≈4", m)
+	}
+}
+
+// TestLognormalClosedFormQuantiles checks sampled quantiles against the
+// closed form exp(Mu + Sigma·probit(p)).
+func TestLognormalClosedFormQuantiles(t *testing.T) {
+	r := NewRand(3)
+	d := Lognormal{Mu: math.Log(10), Sigma: 0.5}
+	xs := sample(d, r, 200000)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95} {
+		want := math.Exp(d.Mu + d.Sigma*probit(p))
+		got := quantile(xs, p)
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("lognormal q%.2f = %.3f, closed form %.3f (rel err %.3f)", p, got, want, rel)
+		}
+	}
+}
+
+// TestParetoClosedFormTail checks the survival function against
+// (Xm/x)^Alpha.
+func TestParetoClosedFormTail(t *testing.T) {
+	r := NewRand(4)
+	d := Pareto{Xm: 100, Alpha: 1.5}
+	xs := sample(d, r, 200000)
+	for _, x := range []float64{150, 300, 1000} {
+		want := math.Pow(d.Xm/x, d.Alpha)
+		over := 0
+		for _, v := range xs {
+			if v < d.Xm {
+				t.Fatalf("pareto sample %v below Xm", v)
+			}
+			if v > x {
+				over++
+			}
+		}
+		got := float64(over) / float64(len(xs))
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(X>%v) = %.4f, closed form %.4f", x, got, want)
+		}
+	}
+}
+
+// TestClampedQuantiles is the table-driven check that clamping censors
+// exactly the out-of-range quantiles of the base distribution and
+// leaves interior quantiles untouched.
+func TestClampedQuantiles(t *testing.T) {
+	base := Lognormal{Mu: math.Log(10), Sigma: 1}
+	cases := []struct {
+		name     string
+		d        Clamped
+		p        float64
+		want     float64 // closed-form quantile of the clamped dist
+		interior bool
+	}{
+		{"floor-hit", Clamped{D: base, Min: 5, Max: 1e9}, 0.05, 5, false},
+		{"ceiling-hit", Clamped{D: base, Min: 0, Max: 20}, 0.95, 20, false},
+		{"median-untouched", Clamped{D: base, Min: 5, Max: 20}, 0.5, 10, true},
+		{"p75-untouched", Clamped{D: base, Min: 5, Max: 40}, 0.75, math.Exp(math.Log(10) + probit(0.75)), true},
+		{"tight-floor", Clamped{D: base, Min: 9, Max: 11}, 0.25, 9, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRand(5)
+			xs := sample(tc.d, r, 100000)
+			got := quantile(xs, tc.p)
+			tol := 0.04 * tc.want
+			if !tc.interior {
+				tol = 1e-12 // censored mass sits exactly on the bound
+			}
+			if math.Abs(got-tc.want) > tol {
+				t.Errorf("q%.2f = %v, want %v", tc.p, got, tc.want)
+			}
+			for _, x := range xs {
+				if x < tc.d.Min || x > tc.d.Max {
+					t.Fatalf("sample %v escaped [%v,%v]", x, tc.d.Min, tc.d.Max)
+				}
+			}
+		})
+	}
+}
+
+// TestLognormalFromQuantiles is the table-driven fit check: the fitted
+// distribution must reproduce both input quantiles in closed form and
+// empirically.
+func TestLognormalFromQuantiles(t *testing.T) {
+	cases := []struct {
+		median, q, p float64
+	}{
+		{3.0, 60.0, 0.90},   // Azure exec times (§ faasload)
+		{12.48, 26.5, 0.95}, // §IV-B warm-up
+		{10, 2, 0.10},       // lower-tail spec
+		{1, 8, 0.99},
+	}
+	for _, tc := range cases {
+		d := LognormalFromQuantiles(tc.median, tc.q, tc.p)
+		if got := math.Exp(d.Mu); math.Abs(got-tc.median)/tc.median > 1e-12 {
+			t.Errorf("median(%v,%v,%v) = %v", tc.median, tc.q, tc.p, got)
+		}
+		if got := math.Exp(d.Mu + d.Sigma*probit(tc.p)); math.Abs(got-tc.q)/tc.q > 1e-9 {
+			t.Errorf("q_p(%v,%v,%v) = %v, want %v", tc.median, tc.q, tc.p, got, tc.q)
+		}
+		if d.Sigma <= 0 {
+			t.Errorf("fit(%v,%v,%v) sigma = %v, want > 0", tc.median, tc.q, tc.p, d.Sigma)
+		}
+		r := NewRand(6)
+		xs := sample(d, r, 100000)
+		if got := quantile(xs, 0.5); math.Abs(got-tc.median)/tc.median > 0.05 {
+			t.Errorf("empirical median = %v, want %v", got, tc.median)
+		}
+		if got := quantile(xs, tc.p); math.Abs(got-tc.q)/tc.q > 0.08 {
+			t.Errorf("empirical q%.2f = %v, want %v", tc.p, got, tc.q)
+		}
+	}
+}
+
+func TestLognormalFromQuantilesPanics(t *testing.T) {
+	cases := []struct {
+		name         string
+		median, q, p float64
+	}{
+		{"zero-median", 0, 10, 0.9},
+		{"zero-q", 5, 0, 0.9},
+		{"p-zero", 5, 10, 0},
+		{"p-one", 5, 10, 1},
+		{"p-half", 5, 10, 0.5},
+		{"wrong-side", 5, 10, 0.1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			LognormalFromQuantiles(tc.median, tc.q, tc.p)
+		})
+	}
+}
+
+// TestDiscreteWeightConvergence checks empirical frequencies against
+// the normalized weights.
+func TestDiscreteWeightConvergence(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40})
+	r := NewRand(7)
+	counts := map[float64]int{}
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.3, 0.4} {
+		got := float64(counts[float64(i+1)]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("value %d frequency = %.4f, want %.1f", i+1, got, want)
+		}
+	}
+	if d.Len() != 4 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":      func() { NewDiscrete(nil, nil) },
+		"mismatched": func() { NewDiscrete([]float64{1}, []float64{1, 2}) },
+		"negative":   func() { NewDiscrete([]float64{1}, []float64{-1}) },
+		"zero-sum":   func() { NewDiscrete([]float64{1, 2}, []float64{0, 0}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestMixtureWeightConvergence checks that component selection
+// converges to the normalized weights (distinguishable supports).
+func TestMixtureWeightConvergence(t *testing.T) {
+	m := NewMixture(
+		Weighted{W: 3, D: Constant{Value: 1}},
+		Weighted{W: 1, D: Constant{Value: 2}},
+	)
+	r := NewRand(8)
+	n := 100000
+	ones := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 1 {
+			ones++
+		}
+	}
+	if got := float64(ones) / float64(n); math.Abs(got-0.75) > 0.01 {
+		t.Errorf("component-1 frequency = %.4f, want 0.75", got)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { NewMixture() },
+		"nil-dist": func() { NewMixture(Weighted{W: 1, D: nil}) },
+		"negative": func() { NewMixture(Weighted{W: -1, D: Constant{Value: 1}}) },
+		"zero-sum": func() { NewMixture(Weighted{W: 0, D: Constant{Value: 1}}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestSecondsClampsNegative(t *testing.T) {
+	r := NewRand(9)
+	if d := Seconds(Constant{Value: -3}, r); d != 0 {
+		t.Errorf("negative draw gave %v", d)
+	}
+	if d := Seconds(Constant{Value: 1.5}, r); d != 1500*time.Millisecond {
+		t.Errorf("1.5s draw gave %v", d)
+	}
+}
+
+// TestNewRandDeterministic: identical seeds give identical streams,
+// different seeds give different ones.
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c, d := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Int63() == d.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different-seed streams collided %d/100 times", same)
+	}
+}
+
+// TestSplitDeterministicAndStable: splitting is reproducible, consumes
+// exactly one parent draw, and child streams do not depend on how many
+// siblings are split afterwards.
+func TestSplitDeterministicAndStable(t *testing.T) {
+	r1 := NewRand(11)
+	c1 := Split(r1)
+	seq1 := make([]int64, 5)
+	for i := range seq1 {
+		seq1[i] = c1.Int63()
+	}
+
+	// Same seed, but split three children: the first child must be
+	// identical — later splits cannot perturb it.
+	r2 := NewRand(11)
+	c2 := Split(r2)
+	_, _ = Split(r2), Split(r2)
+	for i := range seq1 {
+		if got := c2.Int63(); got != seq1[i] {
+			t.Fatalf("first child draw %d changed when siblings were added: %d vs %d", i, got, seq1[i])
+		}
+	}
+
+	// Split consumes exactly one parent draw.
+	a, b := NewRand(12), NewRand(12)
+	_ = Split(a)
+	_ = b.Int63()
+	if a.Int63() != b.Int63() {
+		t.Error("split consumed more than one parent draw")
+	}
+}
+
+// TestSplitIndependence: sibling streams are decorrelated — the
+// empirical correlation of paired uniform draws is near zero, and
+// siblings never emit identical prefixes.
+func TestSplitIndependence(t *testing.T) {
+	root := NewRand(13)
+	a, b := Split(root), Split(root)
+	n := 50000
+	var sx, sy, sxy, sxx, syy float64
+	identical := true
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		if x != y {
+			identical = false
+		}
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+		syy += y * y
+	}
+	if identical {
+		t.Fatal("sibling streams identical")
+	}
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	vx := sxx/fn - (sx/fn)*(sx/fn)
+	vy := syy/fn - (sy/fn)*(sy/fn)
+	if corr := cov / math.Sqrt(vx*vy); math.Abs(corr) > 0.02 {
+		t.Errorf("sibling correlation = %.4f, want ≈0", corr)
+	}
+}

@@ -1,0 +1,31 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// LognormalFromQuantiles fits a log-normal distribution from its
+// median and one other quantile: the returned distribution has
+// median(X) = median and P(X ≤ q) = p. This is how the paper-cited
+// characterizations are usually stated (e.g. the Azure workload of
+// [2]: "50% of functions complete within 3 s, 90% within 60 s"), so
+// the calibrations can be written exactly in the paper's terms.
+//
+// It panics unless median > 0, q > 0, 0 < p < 1, p ≠ 0.5, and q is on
+// the correct side of the median for p (q > median iff p > 0.5).
+func LognormalFromQuantiles(median, q, p float64) Lognormal {
+	if median <= 0 || q <= 0 || p <= 0 || p >= 1 || p == 0.5 {
+		panic(fmt.Sprintf("dist: bad lognormal quantile spec median=%v q=%v p=%v", median, q, p))
+	}
+	if (q > median) != (p > 0.5) {
+		panic(fmt.Sprintf("dist: quantile q=%v on wrong side of median=%v for p=%v", q, median, p))
+	}
+	sigma := math.Log(q/median) / probit(p)
+	return Lognormal{Mu: math.Log(median), Sigma: sigma}
+}
+
+// probit is the standard normal quantile function Φ⁻¹(p).
+func probit(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
