@@ -6,6 +6,7 @@ package hpcwhisk
 // the whole evaluation section.
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -15,13 +16,15 @@ import (
 	"repro/internal/workload"
 )
 
-// benchWeek caches the week trace across benchmarks.
-var benchWeek *Trace
+// benchWeek caches the week trace across benchmarks; the sync.Once
+// keeps the lazy fill safe under -race and parallel benchmark runs.
+var (
+	benchWeekOnce sync.Once
+	benchWeek     *Trace
+)
 
 func weekTrace() *Trace {
-	if benchWeek == nil {
-		benchWeek = WeekTrace(1)
-	}
+	benchWeekOnce.Do(func() { benchWeek = WeekTrace(1) })
 	return benchWeek
 }
 

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableIIFibExperiment   	       1	3444993085 ns/op	        12.26 healthy-avg	        86.49 live-coverage-%	707151208 B/op	21433678 allocs/op
+BenchmarkWarmupCalibration-8    	       1	      1513 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	repro	27.175s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("env header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	fib := doc.Benchmarks["BenchmarkTableIIFibExperiment"]
+	if fib == nil {
+		t.Fatal("fib benchmark missing")
+	}
+	if fib["ns/op"] != 3444993085 || fib["allocs/op"] != 21433678 || fib["B/op"] != 707151208 {
+		t.Errorf("fib perf metrics = %v", fib)
+	}
+	if fib["healthy-avg"] != 12.26 || fib["live-coverage-%"] != 86.49 {
+		t.Errorf("fib custom metrics = %v", fib)
+	}
+	if _, ok := doc.Benchmarks["BenchmarkWarmupCalibration"]; !ok {
+		t.Error("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestGateOneSided(t *testing.T) {
+	baseline := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkA":    {"ns/op": 1000, "allocs/op": 100},
+		"BenchmarkGone": {"ns/op": 50},
+	}}
+	tracked := []string{"ns/op", "allocs/op"}
+
+	// 3.2x faster: an improvement must never fail the gate.
+	better := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 310, "allocs/op": 1},
+	}}
+	if regs := gate(baseline, better, tracked, 25); len(regs) != 0 {
+		t.Errorf("improvement flagged as drift: %v", regs)
+	}
+
+	// Within the gate.
+	within := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1200, "allocs/op": 110},
+	}}
+	if regs := gate(baseline, within, tracked, 25); len(regs) != 0 {
+		t.Errorf("within-gate drift flagged: %v", regs)
+	}
+
+	// A real regression fails.
+	worse := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1400, "allocs/op": 90},
+	}}
+	regs := gate(baseline, worse, tracked, 25)
+	if len(regs) != 1 || regs[0].metric != "ns/op" {
+		t.Fatalf("regression not caught: %v", regs)
+	}
+	if got := regs[0].String(); !strings.Contains(got, "40.0%") {
+		t.Errorf("regression message = %q", got)
+	}
+
+	// Untracked custom metrics never gate.
+	custom := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1000, "allocs/op": 100, "healthy-avg": 99},
+	}}
+	if regs := gate(baseline, custom, tracked, 25); len(regs) != 0 {
+		t.Errorf("untracked metric gated: %v", regs)
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkX 1 abc ns/op\n"))
+	if err == nil {
+		t.Error("malformed value accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Command hpcwhisk-sweep runs a replicated parameter sweep of the
+// 24-hour production experiment: a grid over QPS × cluster size ×
+// supply mode, each cell repeated across decorrelated seeds and
+// aggregated into mean / 95%-CI / quantile summaries. The paper's
+// Tables II-III report single-seed point estimates; this is the
+// multi-trial version, parallel across GOMAXPROCS workers and
+// bit-for-bit deterministic regardless of worker count.
+//
+// Usage:
+//
+//	hpcwhisk-sweep -replicas 8 -seed 1
+//	hpcwhisk-sweep -modes fib,var -qps 5,10,20 -nodes 512,2239 -hours 6 -format csv
+//	hpcwhisk-sweep -replicas 32 -workers 4 -format json -out sweep.json
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+func main() {
+	modes := flag.String("modes", "fib", "comma-separated supply modes to grid over: fib,var")
+	qpsList := flag.String("qps", "10", "comma-separated QPS levels to grid over (0 disables load)")
+	nodesList := flag.String("nodes", strconv.Itoa(experiments.PrometheusNodes), "comma-separated cluster sizes to grid over")
+	hours := flag.Int("hours", 24, "experiment length in hours")
+	replicas := flag.Int("replicas", 8, "independent seeds per grid point")
+	seed := flag.Int64("seed", 1, "base seed of the decorrelated replica-seed sequence")
+	workers := flag.Int("workers", 0, "concurrent replicas (0 = GOMAXPROCS); never affects results")
+	format := flag.String("format", "json", "output format: json or csv")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	points, err := buildGrid(*modes, *qpsList, *nodesList, *hours)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := sweep.Config{Replicas: *replicas, Workers: *workers, BaseSeed: *seed}
+	start := time.Now()
+	results := sweep.Sweep(cfg, points)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = writeJSON(w, results)
+	case "csv":
+		err = writeCSV(w, results)
+	default:
+		err = fmt.Errorf("unknown format %q (want json or csv)", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "swept %d points × %d replicas in %v\n", len(points), *replicas, elapsed)
+}
+
+// buildGrid expands the mode × qps × nodes grid into sweep points over
+// the Table II/III day experiments.
+func buildGrid(modes, qpsList, nodesList string, hours int) ([]sweep.Point, error) {
+	var points []sweep.Point
+	for _, mode := range strings.Split(modes, ",") {
+		mode = strings.TrimSpace(mode)
+		var base func(int64) experiments.DayConfig
+		switch mode {
+		case "fib":
+			base = experiments.FibDay
+		case "var":
+			base = experiments.VarDay
+		default:
+			return nil, fmt.Errorf("unknown mode %q (want fib or var)", mode)
+		}
+		for _, qpsStr := range strings.Split(qpsList, ",") {
+			qps, err := strconv.ParseFloat(strings.TrimSpace(qpsStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad qps %q: %v", qpsStr, err)
+			}
+			for _, nodesStr := range strings.Split(nodesList, ",") {
+				nodes, err := strconv.Atoi(strings.TrimSpace(nodesStr))
+				if err != nil {
+					return nil, fmt.Errorf("bad nodes %q: %v", nodesStr, err)
+				}
+				mode, qps, nodes := mode, qps, nodes
+				points = append(points, sweep.Point{
+					Name: fmt.Sprintf("%s/qps=%g/nodes=%d", mode, qps, nodes),
+					Run: func(seed int64) sweep.Metrics {
+						cfg := base(seed)
+						cfg.QPS = qps
+						cfg.Nodes = nodes
+						cfg.Horizon = time.Duration(hours) * time.Hour
+						return experiments.RunDay(cfg).Metrics()
+					},
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+func writeJSON(w io.Writer, results []sweep.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// writeCSV emits one row per (point, metric) with the full summary.
+func writeCSV(w io.Writer, results []sweep.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"point", "metric", "n", "mean", "std", "ci95", "min", "p25", "median", "p75", "max"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	for _, res := range results {
+		metrics := make([]string, 0, len(res.Metrics))
+		for name := range res.Metrics {
+			metrics = append(metrics, name)
+		}
+		sort.Strings(metrics)
+		for _, name := range metrics {
+			s := res.Metrics[name]
+			row := []string{
+				res.Name, name, strconv.Itoa(s.N),
+				f(s.Mean), f(s.Std), f(s.CI95),
+				f(s.Min), f(s.P25), f(s.Median), f(s.P75), f(s.Max),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

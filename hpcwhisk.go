@@ -30,6 +30,8 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/sebs"
 	"repro/internal/slurm"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/whisk"
 	"repro/internal/workload"
 )
@@ -222,4 +224,37 @@ func DefaultEndogenousConfig(seed int64) EndogenousConfig {
 // RunEndogenous executes the full-scheduler experiment.
 func RunEndogenous(cfg EndogenousConfig) experiments.EndogenousResult {
 	return experiments.RunEndogenous(cfg)
+}
+
+// Replication and parameter sweeps: any experiment entry point can be
+// fanned out across worker goroutines with decorrelated per-replica
+// seeds and aggregated into mean/CI/quantile summaries. A sweep's
+// output is bit-identical regardless of worker count.
+
+// SweepConfig controls replica count, worker count and the base seed of
+// a sweep.
+type SweepConfig = sweep.Config
+
+// SweepPoint is one parameter-grid cell: a label plus the experiment
+// closure (a pure function of its seed).
+type SweepPoint = sweep.Point
+
+// SweepResult aggregates the replicas of one grid point.
+type SweepResult = sweep.Result
+
+// MetricSummary is the per-metric aggregate (mean, std, 95% CI
+// half-width, quantiles) across a sweep's replicas.
+type MetricSummary = stats.Summary
+
+// Replicate runs one experiment across decorrelated replica seeds and
+// aggregates its metrics; see DayResult.Metrics and friends for the
+// flat metric views of the Run* results.
+func Replicate(cfg SweepConfig, run func(seed int64) map[string]float64) SweepResult {
+	return sweep.Replicate(cfg, run)
+}
+
+// Sweep runs every grid point with cfg.Replicas decorrelated replicas,
+// fanning all (point, replica) pairs across the worker pool.
+func Sweep(cfg SweepConfig, points []SweepPoint) []SweepResult {
+	return sweep.Sweep(cfg, points)
 }

@@ -36,6 +36,34 @@ func TestFacadeDeployAndInvoke(t *testing.T) {
 	}
 }
 
+func TestFacadeSweep(t *testing.T) {
+	day := func(seed int64) map[string]float64 {
+		cfg := FibDay(seed)
+		cfg.Nodes = 128
+		cfg.Horizon = time.Hour
+		cfg.QPS = 0
+		return RunDay(cfg).Metrics()
+	}
+	results := Sweep(SweepConfig{Replicas: 3, Workers: 2, BaseSeed: 9}, []SweepPoint{
+		{Name: "fib-slice", Run: day},
+	})
+	if len(results) != 1 || results[0].Name != "fib-slice" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	cov, ok := results[0].Metrics["live-coverage"]
+	if !ok || cov.N != 3 {
+		t.Fatalf("live-coverage summary = %+v (present=%v)", cov, ok)
+	}
+	if cov.Mean <= 0 || cov.Mean > 1 {
+		t.Errorf("implausible mean coverage %v", cov.Mean)
+	}
+
+	rep := Replicate(SweepConfig{Replicas: 3, Workers: 1, BaseSeed: 9}, day)
+	if rep.Metrics["live-coverage"] != cov {
+		t.Error("Replicate and single-point Sweep disagree on the same config")
+	}
+}
+
 func TestFacadeTraceGeneration(t *testing.T) {
 	tr := GenerateTrace(100, 2*time.Hour, 7)
 	if err := tr.Validate(); err != nil {

@@ -126,7 +126,7 @@ type pilot struct {
 	job       *slurm.Job
 	phase     pilotPhase
 	invoker   *whisk.Invoker
-	warmupEv  *des.Event
+	warmupEv  des.Event
 	healthyAt des.Time
 }
 
@@ -249,7 +249,6 @@ func (m *PilotManager) onPilotStart(j *slurm.Job) {
 	m.States.Add(m.sim.Now(), phaseWarming)
 	warmup := dist.Seconds(m.cfg.WarmupSeconds, m.rng)
 	p.warmupEv = m.sim.After(warmup, func() {
-		p.warmupEv = nil
 		if j.State != slurm.Running {
 			return
 		}
@@ -272,10 +271,7 @@ func (m *PilotManager) onSigterm(j *slurm.Job, at des.Time) {
 	switch p.phase {
 	case phaseWarming:
 		// Never registered: nothing to hand off; exit immediately.
-		if p.warmupEv != nil {
-			p.warmupEv.Stop()
-			p.warmupEv = nil
-		}
+		p.warmupEv.Stop()
 		m.KilledInWarmup++
 		m.finishPilot(p, at)
 		m.sim.After(time.Second, j.Exit)
@@ -313,10 +309,7 @@ func (m *PilotManager) onEnd(j *slurm.Job, reason slurm.EndReason) {
 	if p.phase == phaseDone || reason == slurm.ReasonCancelled {
 		return
 	}
-	if p.warmupEv != nil {
-		p.warmupEv.Stop()
-		p.warmupEv = nil
-	}
+	p.warmupEv.Stop()
 	if p.invoker != nil && p.invoker.State() != whisk.InvokerGone {
 		if p.phase == phaseHealthy {
 			m.ReadySpans.AddDuration(m.sim.Now() - p.healthyAt)

@@ -6,11 +6,20 @@
 // instant execute in scheduling order, so a run is reproducible
 // bit-for-bit given fixed inputs and seeds.
 //
+// The kernel is the hot path of every experiment (a 24-hour production
+// run dispatches tens of millions of events), so the queue is a flat
+// 4-ary min-heap of value entries ordered by (instant, sequence): no
+// container/heap interface boxing, no per-event heap allocation, and no
+// index maintenance. Callback slots are pooled in a free list and
+// recycled as events fire; Event handles are small generation-checked
+// values, so Stop and Pending on a handle whose slot has been recycled
+// for a later scheduling are detected and refused rather than
+// corrupting the queue.
+//
 // The zero value of Sim is ready to use; its clock starts at instant 0.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -20,74 +29,94 @@ import (
 // ordinary duration arithmetic applies.
 type Time = time.Duration
 
-// Event is a scheduled callback. It is returned by Schedule and After so
-// the caller can cancel it with Stop before it fires.
+// Event is a handle to a scheduled callback, returned by Schedule and
+// After so the caller can cancel it with Stop before it fires. It is a
+// small value (copy freely); the zero Event is valid and refers to no
+// scheduling. The handle stays safe forever: once the event fires or is
+// stopped, its pooled slot may be recycled for a later scheduling, and
+// the generation check makes Stop/Pending on the stale handle a no-op.
 type Event struct {
-	sim   *Sim
-	when  Time
-	seq   uint64
-	fn    func()
-	index int // position in the heap, -1 once fired or stopped
+	sim  *Sim
+	when Time
+	gen  uint32
+	idx  int32
+}
+
+// node is one pooled callback slot. gen increments every time the slot
+// is released (fired or stopped), so a heap entry or handle created for
+// an earlier scheduling can never act on a later one. (uint32 suffices:
+// a false match needs one slot to cycle exactly 2^32 times while a
+// stale reference is held; whole runs schedule orders of magnitude
+// fewer events.)
+type node struct {
+	fn  func()
+	gen uint32
+}
+
+// entry is one queue element: 24 bytes (8+8+4+4), pointer-free, ordered
+// by (when, seq) for the deterministic total order.
+type entry struct {
+	when Time
+	seq  uint64
+	gen  uint32
+	idx  int32
 }
 
 // When reports the instant the event is (or was) scheduled to fire.
-func (e *Event) When() Time { return e.when }
+func (e Event) When() Time { return e.when }
+
+// Scheduled reports whether the handle has ever referred to a
+// scheduling (i.e. it is not the zero Event). Unlike Pending it stays
+// true after the event fires.
+func (e Event) Scheduled() bool { return e.sim != nil }
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+func (e Event) Pending() bool {
+	return e.sim != nil && e.sim.nodes[e.idx].gen == e.gen
+}
 
 // Stop cancels the event. It reports whether the event was still pending;
-// stopping an already-fired or already-stopped event is a no-op.
-func (e *Event) Stop() bool {
-	if e == nil || e.index < 0 {
+// stopping an already-fired or already-stopped event is a no-op, even if
+// the event's pooled slot has since been recycled for another scheduling.
+func (e Event) Stop() bool {
+	if e.sim == nil {
 		return false
 	}
-	heap.Remove(&e.sim.events, e.index)
-	e.index = -1
-	e.fn = nil
-	return true
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+	s := e.sim
+	n := &s.nodes[e.idx]
+	if n.gen != e.gen {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	// Release the slot immediately; the heap entry becomes stale and is
+	// skipped when it surfaces (the queue is index-free by design).
+	n.fn = nil
+	n.gen++
+	s.free = append(s.free, e.idx)
+	s.npending--
+	return true
 }
 
 // Sim is a discrete-event simulation: a virtual clock plus a queue of
 // pending events. Sim is not safe for concurrent use; the simulation
 // executes in a single goroutine by design (determinism is the point).
+// Independent Sims are fully isolated, so replicas of an experiment can
+// run concurrently on one Sim each (as internal/sweep does).
 type Sim struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now   Time
+	heap  []entry
+	nodes []node
+	free  []int32
+
+	// batch[batchPos:] is the in-flight same-instant dispatch batch:
+	// entries already popped off the heap but not yet fired. Keeping it
+	// on the Sim (with a cursor, not a local) makes re-entrant
+	// Run/RunUntil/Step calls from inside a callback drain the batch
+	// remainder first, preserving the (when, seq) total order.
+	batch    []entry
+	batchPos int
+
+	seq      uint64
+	npending int
 }
 
 // New returns an empty simulation with its clock at instant 0.
@@ -97,45 +126,119 @@ func New() *Sim { return &Sim{} }
 func (s *Sim) Now() Time { return s.now }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return s.npending }
 
 // Schedule queues fn to run at instant at. Scheduling in the past panics:
 // a component that does so holds a stale view of the clock, which is a bug.
-func (s *Sim) Schedule(at Time, fn func()) *Event {
+func (s *Sim) Schedule(at Time, fn func()) Event {
 	if at < s.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
 	}
 	if fn == nil {
 		panic("des: schedule with nil callback")
 	}
-	e := &Event{sim: s, when: at, seq: s.seq, fn: fn}
+	var idx int32
+	if k := len(s.free); k > 0 {
+		idx = s.free[k-1]
+		s.free = s.free[:k-1]
+	} else {
+		s.nodes = append(s.nodes, node{})
+		idx = int32(len(s.nodes) - 1)
+	}
+	n := &s.nodes[idx]
+	n.fn = fn
+	seq := s.seq
 	s.seq++
-	heap.Push(&s.events, e)
-	return e
+	s.push(entry{when: at, seq: seq, gen: n.gen, idx: idx})
+	s.npending++
+	return Event{sim: s, when: at, gen: n.gen, idx: idx}
 }
 
 // After queues fn to run d from now. A negative d panics.
-func (s *Sim) After(d time.Duration, fn func()) *Event {
+func (s *Sim) After(d time.Duration, fn func()) Event {
 	return s.Schedule(s.now+d, fn)
+}
+
+// fire releases e's slot and runs its callback. The caller must have
+// checked that e is live (slot generation matches) and set the clock.
+func (s *Sim) fire(e entry) {
+	n := &s.nodes[e.idx]
+	fn := n.fn
+	n.fn = nil
+	n.gen++
+	s.free = append(s.free, e.idx)
+	s.npending--
+	fn()
+}
+
+// stepBatch fires the next live entry of the in-flight same-instant
+// batch, if any. Batch entries were popped at the current instant, so
+// the clock is already right; entries stopped since the pop (by an
+// earlier callback of the same batch) are skipped. Reports whether a
+// callback ran.
+func (s *Sim) stepBatch() bool {
+	for s.batchPos < len(s.batch) {
+		e := s.batch[s.batchPos]
+		s.batchPos++
+		if s.nodes[e.idx].gen == e.gen {
+			s.fire(e)
+			return true
+		}
+	}
+	return false
+}
+
+// startBatch pops every heap entry queued for instant t into the batch
+// buffer (one heap pop per event, no interleaved pushes) and advances
+// the clock to t. Events callbacks then schedule at t carry later
+// sequence numbers than everything popped here, so draining the batch
+// before the next heap look reproduces the one-at-a-time order exactly.
+// Callers must have drained the previous batch first.
+func (s *Sim) startBatch(t Time) {
+	s.batch = s.batch[:0]
+	s.batchPos = 0
+	for len(s.heap) > 0 && s.heap[0].when == t {
+		e := s.pop()
+		if s.nodes[e.idx].gen == e.gen {
+			s.batch = append(s.batch, e)
+		}
+	}
+	s.now = t
 }
 
 // Step fires the earliest pending event, advancing the clock to its
 // instant. It reports whether an event was fired.
 func (s *Sim) Step() bool {
-	if len(s.events) == 0 {
-		return false
+	if s.stepBatch() {
+		return true
 	}
-	e := heap.Pop(&s.events).(*Event)
-	s.now = e.when
-	fn := e.fn
-	e.fn = nil
-	fn()
-	return true
+	for len(s.heap) > 0 {
+		e := s.pop()
+		if s.nodes[e.idx].gen != e.gen {
+			continue // stopped; slot already recycled
+		}
+		s.now = e.when
+		s.fire(e)
+		return true
+	}
+	return false
 }
 
 // Run fires events until the queue drains.
 func (s *Sim) Run() {
-	for s.Step() {
+	for {
+		if s.stepBatch() {
+			continue
+		}
+		if len(s.heap) == 0 {
+			return
+		}
+		top := s.heap[0]
+		if s.nodes[top.idx].gen != top.gen {
+			s.pop()
+			continue
+		}
+		s.startBatch(top.when)
 	}
 }
 
@@ -145,8 +248,23 @@ func (s *Sim) RunUntil(end Time) {
 	if end < s.now {
 		panic(fmt.Sprintf("des: run until %v before now %v", end, s.now))
 	}
-	for len(s.events) > 0 && s.events[0].when <= end {
-		s.Step()
+	for {
+		// Batch entries fire at the already-set clock (≤ now ≤ end).
+		if s.stepBatch() {
+			continue
+		}
+		if len(s.heap) == 0 {
+			break
+		}
+		top := s.heap[0]
+		if s.nodes[top.idx].gen != top.gen {
+			s.pop()
+			continue
+		}
+		if top.when > end {
+			break
+		}
+		s.startBatch(top.when)
 	}
 	s.now = end
 }
@@ -154,12 +272,77 @@ func (s *Sim) RunUntil(end Time) {
 // RunFor advances the simulation by d, firing every event in that window.
 func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
+// less orders entries by (when, seq): the deterministic total order.
+func less(a, b entry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e into the 4-ary heap, sifting up with hole moves (each
+// level is one entry copy, not a swap).
+func (s *Sim) push(e entry) {
+	h := append(s.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	s.heap = h
+}
+
+// pop removes and returns the minimum entry, sifting the displaced last
+// entry down. With 4 children per level the heap is half the depth of a
+// binary heap, trading slightly wider min-of-children scans (which stay
+// in one or two cache lines: entries are 24 bytes) for fewer levels.
+func (s *Sim) pop() entry {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	e := h[last]
+	h = h[:last]
+	s.heap = h
+	if last > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= last {
+				break
+			}
+			m := c
+			hi := c + 4
+			if hi > last {
+				hi = last
+			}
+			for j := c + 1; j < hi; j++ {
+				if less(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !less(h[m], e) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = e
+	}
+	return top
+}
+
 // Ticker fires a callback at a fixed interval until stopped.
 type Ticker struct {
 	sim      *Sim
 	interval time.Duration
 	fn       func()
-	next     *Event
+	tick     func() // cached self-callback: one closure per ticker, not per tick
+	next     Event
 	stopped  bool
 }
 
@@ -176,11 +359,12 @@ func (s *Sim) EveryFrom(first Time, interval time.Duration, fn func()) *Ticker {
 		panic("des: non-positive ticker interval")
 	}
 	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.tick = t.doTick
 	t.next = s.Schedule(first, t.tick)
 	return t
 }
 
-func (t *Ticker) tick() {
+func (t *Ticker) doTick() {
 	if t.stopped {
 		return
 	}

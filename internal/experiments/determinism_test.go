@@ -12,6 +12,9 @@ import (
 // forked stream, so no scheduling detail can reorder draws between
 // runs.
 func TestRunDayByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
 	render := func() []byte {
 		r := RunDay(FibDay(2))
 		var buf bytes.Buffer

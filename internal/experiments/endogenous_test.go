@@ -8,6 +8,9 @@ import (
 )
 
 func TestEndogenousFullScheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
 	r := RunEndogenous(DefaultEndogenousConfig(1))
 
 	// The prime load dominates the cluster (ramp-up and job-mix

@@ -113,6 +113,9 @@ func TestTableIRender(t *testing.T) {
 // ready workers, short no-invoker stretches, ≥95% requests invoked,
 // ≈0.85s median response.
 func TestFibDayReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
 	r := RunDay(FibDay(1))
 
 	if c := r.Coverage(); c < 0.80 || c > 0.95 {
@@ -160,6 +163,9 @@ func TestFibDayReproduction(t *testing.T) {
 // with a large gap below the simulated bound (the §V-B2 scheduler
 // effect), fewer workers, and ≈78% of requests invoked.
 func TestVarDayReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
 	r := RunDay(VarDay(1))
 
 	if c := r.Coverage(); c < 0.55 || c > 0.78 {
@@ -187,6 +193,9 @@ func TestVarDayReproduction(t *testing.T) {
 // TestFibBeatsVar is the paper's headline comparison: fib covers far
 // more of the idle surface than var (90% vs 68%).
 func TestFibBeatsVar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
 	fib := RunDay(FibDay(1))
 	vr := RunDay(VarDay(1))
 	if fib.Coverage() < vr.Coverage()+0.10 {
@@ -201,6 +210,9 @@ func TestFibBeatsVar(t *testing.T) {
 }
 
 func TestFig7Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
 	r := RunFig7(20000, 8, 30, 4)
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d", len(r.Rows))

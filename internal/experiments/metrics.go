@@ -1,0 +1,63 @@
+package experiments
+
+// Metrics methods flatten each experiment's result into the named-scalar
+// form the sweep engine aggregates across replicas. Names are stable:
+// they key the JSON/CSV output of cmd/hpcwhisk-sweep and the summaries
+// in sweep.Result, so renaming one is a breaking change to saved sweeps.
+
+// Metrics returns the headline Table II/III and Fig. 5b/6b numbers.
+func (r DayResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"live-coverage":  r.Coverage(),
+		"sim-bound":      r.Sim.Coverage(),
+		"healthy-avg":    r.OW.HealthyAvg,
+		"warmup-avg":     r.OW.WarmupAvg,
+		"available-avg":  r.SlurmLevel.AvailableAvg,
+		"no-invoker-min": r.OW.NoInvokerTotal.Minutes(),
+		"ready-span-min": r.OW.ReadySpanAvg.Minutes(),
+		"pilots-started": float64(r.PilotsStarted),
+		"preempted":      float64(r.Preempted),
+		"handoffs":       float64(r.Handoffs),
+	}
+	if r.Config.QPS > 0 {
+		m["invoked-share"] = r.Load.InvokedShare
+		m["success-share"] = r.Load.SuccessShare
+		m["lost-share"] = r.Load.LostShare
+		m["median-latency-ms"] = float64(r.Load.MedianLatency.Milliseconds())
+	}
+	return m
+}
+
+// Metrics returns the §VII scientific-workload headline numbers.
+func (r ScientificResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"invoked-share":  r.Load.InvokedShare,
+		"success-share":  r.Load.SuccessShare,
+		"fallback-share": r.FallbackShare,
+		"pilots-started": float64(r.PilotsStarted),
+		"handoffs":       float64(r.Handoffs),
+	}
+}
+
+// Metrics returns the full-scheduler headline numbers.
+func (r EndogenousResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"prime-utilization": r.PrimeUtilization,
+		"idle-share":        r.IdleShare,
+		"pilot-share":       r.PilotShare,
+		"pilot-coverage":    r.PilotCoverage,
+		"mean-wait-s":       r.MeanWait.Seconds(),
+		"p95-wait-s":        r.P95Wait.Seconds(),
+		"jobs-completed":    float64(r.JobsCompleted),
+		"pilots-started":    float64(r.PilotsStarted),
+	}
+}
+
+// Metrics returns one lost-share metric per hand-off design point.
+func (r AblationResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		m[row.Variant.Name+"-lost-share"] = row.LostShare
+	}
+	return m
+}

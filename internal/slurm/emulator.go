@@ -76,7 +76,7 @@ type Emulator struct {
 	// idle window, and whether trace-driven prime load occupies it.
 	declaredEnd []des.Time
 
-	passTicker       *des.Event
+	passTicker       des.Event
 	inTraceMode      bool
 	headReservation  reservation
 	primePassPending bool
@@ -165,7 +165,7 @@ func (e *Emulator) traceIdleEnd(p workload.IdlePeriod) {
 
 // Start begins periodic scheduling passes.
 func (e *Emulator) Start() {
-	if e.passTicker != nil {
+	if e.passTicker.Scheduled() {
 		return
 	}
 	e.schedulePass(e.cfg.SchedInterval)
@@ -379,10 +379,7 @@ func (e *Emulator) sigterm(j *Job, reason EndReason) {
 	j.State = Completing
 	j.Reason = reason
 	j.SigtermAt = now
-	if j.endEvent != nil {
-		j.endEvent.Stop()
-		j.endEvent = nil
-	}
+	j.endEvent.Stop()
 	if j.Spec.OnSigterm == nil {
 		e.finish(j, reason)
 		return
@@ -413,14 +410,8 @@ func (e *Emulator) finish(j *Job, reason EndReason) {
 	j.State = Done
 	j.Reason = reason
 	j.Ended = now
-	if j.endEvent != nil {
-		j.endEvent.Stop()
-		j.endEvent = nil
-	}
-	if j.killEv != nil {
-		j.killEv.Stop()
-		j.killEv = nil
-	}
+	j.endEvent.Stop()
+	j.killEv.Stop()
 	for _, n := range j.NodeIDs {
 		if e.runningByNode[n] != j {
 			continue

@@ -135,9 +135,9 @@ type Job struct {
 	GracefulExit bool
 
 	emu      *Emulator
-	endEvent *des.Event // natural SIGTERM-at-limit or completion event
-	killEv   *des.Event // SIGKILL at the end of the grace period
-	heapIdx  int        // position in the pending queue heap
+	endEvent des.Event // natural SIGTERM-at-limit or completion event
+	killEv   des.Event // SIGKILL at the end of the grace period
+	heapIdx  int       // position in the pending queue heap
 }
 
 // Variable reports whether the job has a flexible duration.

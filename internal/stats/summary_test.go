@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", got)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.CI95 != 0 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("Summarize([3]) = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// 1..5: mean 3, sample std sqrt(2.5), t(4 df)=2.776.
+	s := Summarize([]float64{5, 1, 4, 2, 3})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	wantStd := math.Sqrt(2.5)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, wantStd)
+	}
+	wantCI := 2.776 * wantStd / math.Sqrt(5)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Errorf("quartiles = %v/%v, want 2/4", s.P25, s.P75)
+	}
+}
+
+func TestTCrit95Monotonic(t *testing.T) {
+	if TCrit95(1) != 0 || TCrit95(0) != 0 {
+		t.Error("CI is undefined below 2 observations")
+	}
+	prev := math.Inf(1)
+	for n := 2; n < 100; n++ {
+		c := TCrit95(n)
+		if c > prev {
+			t.Fatalf("t critical value increased at n=%d: %v > %v", n, c, prev)
+		}
+		prev = c
+	}
+	if TCrit95(1000) != 1.96 {
+		t.Errorf("large-sample critical value = %v, want 1.96", TCrit95(1000))
+	}
+}
+
+func TestSampleSummarizeMatchesSummarize(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 9, 4, 7} {
+		s.Add(x)
+	}
+	if s.Summarize() != Summarize([]float64{2, 9, 4, 7}) {
+		t.Error("Sample.Summarize disagrees with Summarize")
+	}
+}

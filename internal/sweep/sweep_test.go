@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	cfg := Config{Replicas: 64, BaseSeed: 7}
+	a, b := cfg.Seeds(), cfg.Seeds()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Seeds is not a pure function of BaseSeed")
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatalf("duplicate replica seed %d", s)
+		}
+		seen[s] = true
+	}
+	c := Config{Replicas: 64, BaseSeed: 8}
+	if reflect.DeepEqual(a, c.Seeds()) {
+		t.Fatal("different base seeds produced identical replica seeds")
+	}
+}
+
+// TestSweepWorkerCountInvariant: a sweep's output must be bit-identical
+// for 1 worker and GOMAXPROCS workers, even when replicas finish out of
+// order (the synthetic experiment spins longer for some seeds).
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	points := []Point{
+		{Name: "a", Run: func(seed int64) Metrics {
+			spin(int(seed % 5000))
+			return Metrics{"x": float64(seed % 1000), "y": float64(seed % 7)}
+		}},
+		{Name: "b", Run: func(seed int64) Metrics {
+			spin(int(seed % 9000))
+			return Metrics{"x": float64(seed % 13)}
+		}},
+	}
+	serial := Sweep(Config{Replicas: 50, Workers: 1, BaseSeed: 3}, points)
+	parallel := Sweep(Config{Replicas: 50, Workers: runtime.GOMAXPROCS(0), BaseSeed: 3}, points)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("sweep output depends on worker count")
+	}
+}
+
+// spin burns a little CPU so replica completion order is scrambled.
+func spin(n int) {
+	x := 1.0
+	for i := 0; i < n; i++ {
+		x *= 1.0000001
+	}
+	if x < 0 {
+		panic("unreachable")
+	}
+}
+
+// TestConcurrentRealReplicas runs real experiment replicas in parallel
+// without a -short gate, so the CI race job always exercises actual
+// experiment code on concurrent workers (catching package-level shared
+// state anywhere under internal/experiments).
+func TestConcurrentRealReplicas(t *testing.T) {
+	run := func(seed int64) Metrics {
+		cfg := experiments.FibDay(seed)
+		cfg.Nodes = 128
+		cfg.Horizon = time.Hour
+		cfg.QPS = 0
+		return experiments.RunDay(cfg).Metrics()
+	}
+	res := Replicate(Config{Replicas: 4, Workers: 4, BaseSeed: 5}, run)
+	if res.Metrics["live-coverage"].N != 4 {
+		t.Fatalf("aggregated %d replicas, want 4", res.Metrics["live-coverage"].N)
+	}
+}
+
+// TestReplicateFibDayWorkerCountInvariant is the acceptance scenario:
+// 32 replicas of the FibDay experiment (scaled to a 256-node, 2-hour
+// slice so the suite stays fast) must aggregate to byte-identical JSON
+// for worker counts 1 and GOMAXPROCS.
+func TestReplicateFibDayWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica experiment sweep")
+	}
+	run := func(seed int64) Metrics {
+		cfg := experiments.FibDay(seed)
+		cfg.Nodes = 256
+		cfg.Horizon = 2 * time.Hour
+		cfg.QPS = 2
+		cfg.NumActions = 10
+		return experiments.RunDay(cfg).Metrics()
+	}
+	serial := Replicate(Config{Replicas: 32, Workers: 1, BaseSeed: 1}, run)
+	parallel := Replicate(Config{Replicas: 32, Workers: runtime.GOMAXPROCS(0), BaseSeed: 1}, run)
+
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("FibDay aggregate differs across worker counts:\n1 worker: %s\nN workers: %s", a, b)
+	}
+
+	// The aggregate must actually carry distributional content.
+	cov := serial.Metrics["live-coverage"]
+	if cov.N != 32 {
+		t.Fatalf("live-coverage aggregated %d replicas, want 32", cov.N)
+	}
+	if cov.Std == 0 {
+		t.Error("32 decorrelated seeds produced zero variance — seeds are not independent")
+	}
+	if cov.CI95 <= 0 || cov.Min > cov.Median || cov.Median > cov.Max {
+		t.Errorf("implausible summary: %+v", cov)
+	}
+}
+
+func TestSweepAggregatesPerPoint(t *testing.T) {
+	points := []Point{
+		{Name: "p0", Run: func(seed int64) Metrics { return Metrics{"m": 1} }},
+		{Name: "p1", Run: func(seed int64) Metrics { return Metrics{"m": 2} }},
+	}
+	res := Sweep(Config{Replicas: 5, Workers: 2, BaseSeed: 1}, points)
+	if len(res) != 2 || res[0].Name != "p0" || res[1].Name != "p1" {
+		t.Fatalf("results out of point order: %+v", res)
+	}
+	for i, want := range []float64{1, 2} {
+		s := res[i].Metrics["m"]
+		if s.N != 5 || s.Mean != want || s.Std != 0 || s.CI95 != 0 {
+			t.Errorf("point %d summary = %+v, want mean %v over 5 replicas", i, s, want)
+		}
+		if len(res[i].Values["m"]) != 5 {
+			t.Errorf("point %d kept %d raw values, want 5", i, len(res[i].Values["m"]))
+		}
+		if len(res[i].Seeds) != 5 {
+			t.Errorf("point %d recorded %d seeds, want 5", i, len(res[i].Seeds))
+		}
+	}
+}
+
+func TestSweepPanicsOnZeroReplicas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero replicas should panic")
+		}
+	}()
+	Sweep(Config{}, []Point{{Name: "x", Run: func(int64) Metrics { return nil }}})
+}
+
+func ExampleReplicate() {
+	res := Replicate(Config{Replicas: 4, Workers: 2, BaseSeed: 1}, func(seed int64) Metrics {
+		return Metrics{"parity": float64(seed % 2)}
+	})
+	fmt.Println(res.Metrics["parity"].N)
+	// Output: 4
+}

@@ -98,8 +98,8 @@ type Invocation struct {
 	InvokerID int // slot of the executing invoker, -1 if none
 
 	done      func(*Invocation)
-	timeoutEv *des.Event
-	execEv    *des.Event // completion event while executing (for interrupts)
+	timeoutEv des.Event
+	execEv    des.Event // completion event while executing (for interrupts)
 	invoker   *Invoker
 }
 

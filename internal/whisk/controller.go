@@ -207,10 +207,7 @@ func (c *Controller) complete(inv *Invocation, status Status) {
 	if inv.Status != StatusPending {
 		return
 	}
-	if inv.timeoutEv != nil {
-		inv.timeoutEv.Stop()
-		inv.timeoutEv = nil
-	}
+	inv.timeoutEv.Stop()
 	inv.Status = status
 	egress := dist.Seconds(c.cfg.EgressSeconds, c.rng)
 	c.sim.After(egress, func() {

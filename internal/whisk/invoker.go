@@ -212,7 +212,6 @@ func (w *Invoker) execute(inv *Invocation) {
 	body := inv.Action.Exec(w.rng)
 	total := start.delay + body
 	inv.execEv = sim.After(total, func() {
-		inv.execEv = nil
 		inv.Executed = sim.Now() - body // execution body began after startup
 		w.removeRunning(inv)
 		w.releaseContainer(inv.Action)
@@ -328,10 +327,7 @@ func (w *Invoker) Sigterm(interruptRunning bool, onDrained func()) {
 			if !inv.Action.Interruptible {
 				continue
 			}
-			if inv.execEv != nil {
-				inv.execEv.Stop()
-				inv.execEv = nil
-			}
+			inv.execEv.Stop()
 			w.removeRunning(inv)
 			w.releaseContainer(inv.Action)
 			inv.Requeues++
@@ -375,10 +371,7 @@ func (w *Invoker) Kill() {
 		w.ticker.Stop()
 	}
 	for _, inv := range w.running {
-		if inv.execEv != nil {
-			inv.execEv.Stop()
-			inv.execEv = nil
-		}
+		inv.execEv.Stop()
 	}
 	w.running = nil
 	w.buffer = nil
