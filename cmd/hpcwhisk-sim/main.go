@@ -6,60 +6,79 @@
 // Usage:
 //
 //	hpcwhisk-sim -mode fib -seed 1
+//	hpcwhisk-sim -policy adaptive -hours 6
 //	hpcwhisk-sim -mode var -hours 24 -qps 10 -minutes
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
+	"repro/internal/policy"
 )
 
-func main() {
-	mode := flag.String("mode", "fib", "pilot supply model: fib or var")
-	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-	nodes := flag.Int("nodes", experiments.PrometheusNodes, "cluster size")
-	hours := flag.Int("hours", 24, "experiment length in hours")
-	qps := flag.Float64("qps", 10, "responsiveness load (0 disables)")
-	minutes := flag.Bool("minutes", false, "print the per-minute Fig 5b/6b series")
-	series := flag.Bool("series", false, "print the per-minute worker-count panels (Fig 5a/6a)")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	var cfg experiments.DayConfig
-	switch *mode {
-	case "fib":
-		cfg = experiments.FibDay(*seed)
-	case "var":
-		cfg = experiments.VarDay(*seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want fib or var)\n", *mode)
-		os.Exit(2)
+// run is main behind testable seams: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hpcwhisk-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "fib", "paper supply model: fib or var (deprecated alias of -policy)")
+	policyName := fs.String("policy", "", "supply policy (registry names: "+strings.Join(policy.Names(), ",")+"); overrides -mode")
+	seed := fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	nodes := fs.Int("nodes", experiments.PrometheusNodes, "cluster size")
+	hours := fs.Int("hours", 24, "experiment length in hours")
+	qps := fs.Float64("qps", 10, "responsiveness load (0 disables)")
+	minutes := fs.Bool("minutes", false, "print the per-minute Fig 5b/6b series")
+	series := fs.Bool("series", false, "print the per-minute worker-count panels (Fig 5a/6a)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
+
+	name := *policyName
+	if name == "" {
+		name = *mode
+	}
+	if _, err := policy.New(name); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cfg := experiments.FibDay(*seed)
+	if name == "var" {
+		cfg = experiments.VarDay(*seed)
+	}
+	cfg.Policy = name
 	cfg.Nodes = *nodes
 	cfg.Horizon = time.Duration(*hours) * time.Hour
 	cfg.QPS = *qps
 
 	start := time.Now()
 	res := experiments.RunDay(cfg)
-	res.Render(os.Stdout)
-	fmt.Printf("(simulated %v of cluster time in %v)\n", cfg.Horizon, time.Since(start).Round(time.Millisecond))
+	res.Render(stdout)
+	fmt.Fprintf(stdout, "(simulated %v of cluster time in %v)\n", cfg.Horizon, time.Since(start).Round(time.Millisecond))
 
 	if *series {
-		fmt.Println()
-		res.RenderSeries(os.Stdout)
+		fmt.Fprintln(stdout)
+		res.RenderSeries(stdout)
 	}
 
 	if *minutes && res.Series != nil {
-		fmt.Println("\nper-minute series (Fig 5b/6b):")
-		fmt.Printf("%-8s %8s %8s %8s %8s\n", "minute", "success", "failed", "lost", "503")
+		fmt.Fprintln(stdout, "\nper-minute series (Fig 5b/6b):")
+		fmt.Fprintf(stdout, "%-8s %8s %8s %8s %8s\n", "minute", "success", "failed", "lost", "503")
 		for i, row := range res.Series.Rows() {
-			fmt.Printf("%-8d %8d %8d %8d %8d\n", i,
+			fmt.Fprintf(stdout, "%-8d %8d %8d %8d %8d\n", i,
 				row.Counts[loadgen.LabelSuccess], row.Counts[loadgen.LabelFailed],
 				row.Counts[loadgen.LabelLost], row.Counts[loadgen.Label503])
 		}
 	}
+	return 0
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-policy", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown policy: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown policy") {
+		t.Errorf("stderr %q lacks the unknown-policy error", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-mode", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown mode: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit %d, want 0", code)
+	}
+}
+
+// stripTiming drops the wall-clock line, the only non-deterministic
+// output.
+func stripTiming(b []byte) []byte {
+	var out [][]byte
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("(simulated ")) {
+			continue
+		}
+		out = append(out, line)
+	}
+	return bytes.Join(out, []byte("\n"))
+}
+
+// TestRunGolden pins the rendered output of a small deterministic run,
+// including the per-minute series flags. Regenerate with `go test
+// ./cmd/hpcwhisk-sim -run TestRunGolden -update` after an intentional
+// change.
+func TestRunGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-policy", "hybrid", "-nodes", "48", "-hours", "1", "-qps", "2", "-seed", "7", "-minutes", "-series"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := stripTiming(out.Bytes())
+	golden := filepath.Join("testdata", "hybrid_hour.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverged from %s (%d vs %d bytes); run with -update if intentional",
+			golden, len(got), len(want))
+	}
+}
+
+// TestModeFlagStillWorks keeps the deprecated -mode spelling alive.
+func TestModeFlagStillWorks(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "var", "-nodes", "48", "-hours", "1", "-qps", "0", "-seed", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table III — var day") {
+		t.Errorf("output lacks the var-day header:\n%s", out.String())
+	}
+}

@@ -1,15 +1,16 @@
 // Command hpcwhisk-sweep runs a replicated parameter sweep of the
-// 24-hour production experiment: a grid over QPS × cluster size ×
-// supply mode, each cell repeated across decorrelated seeds and
+// 24-hour production experiment: a grid over supply policy × QPS ×
+// cluster size, each cell repeated across decorrelated seeds and
 // aggregated into mean / 95%-CI / quantile summaries. The paper's
-// Tables II-III report single-seed point estimates; this is the
-// multi-trial version, parallel across GOMAXPROCS workers and
-// bit-for-bit deterministic regardless of worker count.
+// Tables II-III report single-seed point estimates over two supply
+// models; this is the multi-trial version over the whole policy
+// registry, parallel across GOMAXPROCS workers and bit-for-bit
+// deterministic regardless of worker count.
 //
 // Usage:
 //
 //	hpcwhisk-sweep -replicas 8 -seed 1
-//	hpcwhisk-sweep -modes fib,var -qps 5,10,20 -nodes 512,2239 -hours 6 -format csv
+//	hpcwhisk-sweep -policy fib,var,adaptive,lease,hybrid -qps 5,10,20 -hours 6 -format csv
 //	hpcwhisk-sweep -replicas 32 -workers 4 -format json -out sweep.json
 package main
 
@@ -26,25 +27,41 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/policy"
 	"repro/internal/sweep"
 )
 
-func main() {
-	modes := flag.String("modes", "fib", "comma-separated supply modes to grid over: fib,var")
-	qpsList := flag.String("qps", "10", "comma-separated QPS levels to grid over (0 disables load)")
-	nodesList := flag.String("nodes", strconv.Itoa(experiments.PrometheusNodes), "comma-separated cluster sizes to grid over")
-	hours := flag.Int("hours", 24, "experiment length in hours")
-	replicas := flag.Int("replicas", 8, "independent seeds per grid point")
-	seed := flag.Int64("seed", 1, "base seed of the decorrelated replica-seed sequence")
-	workers := flag.Int("workers", 0, "concurrent replicas (0 = GOMAXPROCS); never affects results")
-	format := flag.String("format", "json", "output format: json or csv")
-	out := flag.String("out", "", "output file (default stdout)")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	points, err := buildGrid(*modes, *qpsList, *nodesList, *hours)
+// run is main behind testable seams: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hpcwhisk-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	policies := fs.String("policy", "", "comma-separated supply policies to grid over (registry names: "+strings.Join(policy.Names(), ",")+"); overrides -modes")
+	modes := fs.String("modes", "fib", "deprecated alias of -policy (kept for old scripts)")
+	qpsList := fs.String("qps", "10", "comma-separated QPS levels to grid over (0 disables load)")
+	nodesList := fs.String("nodes", strconv.Itoa(experiments.PrometheusNodes), "comma-separated cluster sizes to grid over")
+	hours := fs.Int("hours", 24, "experiment length in hours")
+	replicas := fs.Int("replicas", 8, "independent seeds per grid point")
+	seed := fs.Int64("seed", 1, "base seed of the decorrelated replica-seed sequence")
+	workers := fs.Int("workers", 0, "concurrent replicas (0 = GOMAXPROCS); never affects results")
+	format := fs.String("format", "json", "output format: json or csv")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	selected := *policies
+	if selected == "" {
+		selected = *modes
+	}
+	points, err := buildGrid(selected, *qpsList, *nodesList, *hours)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	cfg := sweep.Config{Replicas: *replicas, Workers: *workers, BaseSeed: *seed}
@@ -52,12 +69,12 @@ func main() {
 	results := sweep.Sweep(cfg, points)
 	elapsed := time.Since(start).Round(time.Millisecond)
 
-	w := io.Writer(os.Stdout)
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		w = f
@@ -71,26 +88,26 @@ func main() {
 		err = fmt.Errorf("unknown format %q (want json or csv)", *format)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "swept %d points × %d replicas in %v\n", len(points), *replicas, elapsed)
+	fmt.Fprintf(stderr, "swept %d points × %d replicas in %v\n", len(points), *replicas, elapsed)
+	return 0
 }
 
-// buildGrid expands the mode × qps × nodes grid into sweep points over
-// the Table II/III day experiments.
-func buildGrid(modes, qpsList, nodesList string, hours int) ([]sweep.Point, error) {
+// buildGrid expands the policy × qps × nodes grid into sweep points
+// over the Table II/III day experiments. Every policy runs the fib
+// day's trace calibration except "var", which keeps its own paper day.
+func buildGrid(policies, qpsList, nodesList string, hours int) ([]sweep.Point, error) {
 	var points []sweep.Point
-	for _, mode := range strings.Split(modes, ",") {
-		mode = strings.TrimSpace(mode)
-		var base func(int64) experiments.DayConfig
-		switch mode {
-		case "fib":
-			base = experiments.FibDay
-		case "var":
+	for _, name := range strings.Split(policies, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := policy.New(name); err != nil {
+			return nil, err
+		}
+		base := experiments.FibDay
+		if name == "var" {
 			base = experiments.VarDay
-		default:
-			return nil, fmt.Errorf("unknown mode %q (want fib or var)", mode)
 		}
 		for _, qpsStr := range strings.Split(qpsList, ",") {
 			qps, err := strconv.ParseFloat(strings.TrimSpace(qpsStr), 64)
@@ -102,11 +119,12 @@ func buildGrid(modes, qpsList, nodesList string, hours int) ([]sweep.Point, erro
 				if err != nil {
 					return nil, fmt.Errorf("bad nodes %q: %v", nodesStr, err)
 				}
-				mode, qps, nodes := mode, qps, nodes
+				name, base, qps, nodes := name, base, qps, nodes
 				points = append(points, sweep.Point{
-					Name: fmt.Sprintf("%s/qps=%g/nodes=%d", mode, qps, nodes),
+					Name: fmt.Sprintf("%s/qps=%g/nodes=%d", name, qps, nodes),
 					Run: func(seed int64) sweep.Metrics {
 						cfg := base(seed)
+						cfg.Policy = name
 						cfg.QPS = qps
 						cfg.Nodes = nodes
 						cfg.Horizon = time.Duration(hours) * time.Hour

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func TestBuildGridShape(t *testing.T) {
+	points, err := buildGrid("fib,var,adaptive", "5,10", "64,128", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3*2*2 {
+		t.Fatalf("%d points, want 12", len(points))
+	}
+	want := []string{
+		"fib/qps=5/nodes=64", "fib/qps=5/nodes=128", "fib/qps=10/nodes=64", "fib/qps=10/nodes=128",
+		"var/qps=5/nodes=64", "var/qps=5/nodes=128", "var/qps=10/nodes=64", "var/qps=10/nodes=128",
+		"adaptive/qps=5/nodes=64", "adaptive/qps=5/nodes=128", "adaptive/qps=10/nodes=64", "adaptive/qps=10/nodes=128",
+	}
+	for i, p := range points {
+		if p.Name != want[i] {
+			t.Errorf("point %d named %q, want %q", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestBuildGridErrors(t *testing.T) {
+	cases := []struct{ policies, qps, nodes string }{
+		{"bogus", "10", "64"},
+		{"fib", "ten", "64"},
+		{"fib", "10", "many"},
+	}
+	for _, tc := range cases {
+		if _, err := buildGrid(tc.policies, tc.qps, tc.nodes, 1); err == nil {
+			t.Errorf("buildGrid(%q, %q, %q) succeeded, want error", tc.policies, tc.qps, tc.nodes)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-policy", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown policy: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown policy") {
+		t.Errorf("stderr %q lacks the unknown-policy error", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-format", "xml", "-policy", "fib", "-nodes", "16", "-hours", "1", "-qps", "0", "-replicas", "1"}, &out, &errb); code != 1 {
+		t.Errorf("bad format: exit %d, want 1", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit %d, want 0", code)
+	}
+}
+
+// TestRunGolden pins the output shape of a tiny deterministic grid in
+// both formats. Regenerate with `go test ./cmd/hpcwhisk-sweep -run
+// TestRunGolden -update` after an intentional change.
+func TestRunGolden(t *testing.T) {
+	args := []string{"-policy", "fib,lease", "-qps", "0", "-nodes", "48", "-hours", "1",
+		"-replicas", "2", "-seed", "7", "-workers", "2"}
+	for _, format := range []string{"json", "csv"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(append(args, "-format", format), &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			golden := filepath.Join("testdata", "tiny_grid."+format)
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output diverged from %s (%d vs %d bytes); run with -update if intentional",
+					golden, out.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestRunWorkerCountInvariant re-checks the engine's core guarantee
+// through the CLI: worker count never changes the bytes.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	render := func(workers string) []byte {
+		var out, errb bytes.Buffer
+		args := []string{"-policy", "adaptive", "-qps", "0", "-nodes", "48", "-hours", "1",
+			"-replicas", "3", "-seed", "9", "-workers", workers, "-format", "csv"}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.Bytes()
+	}
+	if !bytes.Equal(render("1"), render("4")) {
+		t.Error("1-worker and 4-worker sweeps rendered differently")
+	}
+}

@@ -1,0 +1,20 @@
+package hpcwhisk
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program. The examples are
+// standalone main packages that nothing else imports, so without this
+// gate a facade change can silently break them.
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles packages via the go tool (skipped under -short)")
+	}
+	cmd := exec.Command("go", "build", "./examples/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/... failed: %v\n%s", err, out)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lambda"
 	"repro/internal/loadgen"
+	"repro/internal/policy"
 	"repro/internal/sebs"
 	"repro/internal/slurm"
 	"repro/internal/stats"
@@ -38,6 +39,13 @@ import (
 
 // Mode selects the pilot-job supply model of §III-D: fixed-length bags
 // (fib) or Slurm-sized variable-length jobs (var).
+//
+// Deprecated: Mode survives as a thin alias for the paper's two
+// supply policies. New code should pick a SupplyPolicy — by name
+// through the registry (NewPolicy, PolicyNames) or by constructor
+// (NewFibPolicy, NewVarPolicy, NewAdaptivePolicy, NewLeasePolicy,
+// NewHybridPolicy) — and set it on SystemConfig.Manager.Policy or
+// DayConfig.Policy.
 type Mode = core.Mode
 
 // Supply models.
@@ -45,6 +53,73 @@ const (
 	ModeFib = core.ModeFib
 	ModeVar = core.ModeVar
 )
+
+// Supply-policy layer: the pilot-supply decision of §III-D is a
+// swappable policy behind the policy.SupplyPolicy interface. Policies
+// are stateful; build a fresh value per deployment.
+
+// SupplyPolicy decides what pilot jobs the manager keeps queued.
+type SupplyPolicy = policy.SupplyPolicy
+
+// PolicyEnv is the deployment view a policy observes and acts through.
+type PolicyEnv = policy.Env
+
+// PilotEnd describes one ended pilot to a policy.
+type PilotEnd = policy.PilotEnd
+
+// Pilot end reasons as policies see them.
+const (
+	EndPreempted = policy.EndPreempted
+	EndExpired   = policy.EndExpired
+	EndOther     = policy.EndOther
+)
+
+// PolicyNames lists the registered supply policies ("adaptive", "fib",
+// "hybrid", "lease", "var", plus anything the embedding program
+// registered).
+func PolicyNames() []string { return policy.Names() }
+
+// NewPolicy builds a fresh default-configured policy by registry name.
+func NewPolicy(name string) (SupplyPolicy, error) { return policy.New(name) }
+
+// RegisterPolicy adds a custom policy factory to the registry, making
+// it available to DayConfig.Policy, the sweep grid, and PolicyNames.
+// See examples/policy for a worked custom policy.
+func RegisterPolicy(name string, factory func() SupplyPolicy) {
+	policy.Register(name, factory)
+}
+
+// Policy constructors with explicit knobs.
+
+// FibPolicyConfig parameterizes the paper's bag-of-tasks model.
+type FibPolicyConfig = policy.FibConfig
+
+// NewFibPolicy builds the fib policy (§III-D).
+func NewFibPolicy(cfg FibPolicyConfig) SupplyPolicy { return policy.NewFib(cfg) }
+
+// VarPolicyConfig parameterizes the paper's flexible-job model.
+type VarPolicyConfig = policy.VarConfig
+
+// NewVarPolicy builds the var policy (§III-D).
+func NewVarPolicy(cfg VarPolicyConfig) SupplyPolicy { return policy.NewVar(cfg) }
+
+// AdaptivePolicyConfig parameterizes the feedback-controlled depth.
+type AdaptivePolicyConfig = policy.AdaptiveConfig
+
+// NewAdaptivePolicy builds the adaptive-depth harvesting policy.
+func NewAdaptivePolicy(cfg AdaptivePolicyConfig) SupplyPolicy { return policy.NewAdaptive(cfg) }
+
+// LeasePolicyConfig parameterizes the rFaaS-style lease pool.
+type LeasePolicyConfig = policy.LeaseConfig
+
+// NewLeasePolicy builds the fixed-term renewable-lease policy.
+func NewLeasePolicy(cfg LeasePolicyConfig) SupplyPolicy { return policy.NewLease(cfg) }
+
+// HybridPolicyConfig parameterizes the fib+var mix.
+type HybridPolicyConfig = policy.HybridConfig
+
+// NewHybridPolicy builds the configurable fib+var split policy.
+func NewHybridPolicy(cfg HybridPolicyConfig) SupplyPolicy { return policy.NewHybrid(cfg) }
 
 // System is a fully wired HPC-Whisk deployment: Slurm emulator,
 // OpenWhisk controller and bus, pilot manager, and Slurm-level logger,
@@ -191,6 +266,33 @@ func RunFig7(vertices, degree, invocations int, seed int64) experiments.Fig7Resu
 // RunAblation compares the hand-off design points.
 func RunAblation(nodes int, horizon time.Duration, seed int64) experiments.AblationResult {
 	return experiments.RunAblation(nodes, horizon, seed)
+}
+
+// AblationConfig parameterizes the hand-off ablation, including the
+// supply policy the variants run under.
+type AblationConfig = experiments.AblationConfig
+
+// RunAblationWith runs the hand-off ablation under an explicit supply
+// policy.
+func RunAblationWith(cfg AblationConfig) experiments.AblationResult {
+	return experiments.RunAblationWith(cfg)
+}
+
+// PolicyComparisonConfig configures the supply-policy comparison: the
+// same calibrated day run once per policy, so rows differ only in how
+// the pilot queue is stocked.
+type PolicyComparisonConfig = experiments.PolicyComparisonConfig
+
+// DefaultPolicyComparisonConfig returns a tractable comparison over
+// every registered policy.
+func DefaultPolicyComparisonConfig(seed int64) PolicyComparisonConfig {
+	return experiments.DefaultPolicyComparisonConfig(seed)
+}
+
+// RunPolicyComparison executes the comparison and reports utilization,
+// 503, and hand-off metrics per policy.
+func RunPolicyComparison(cfg PolicyComparisonConfig) experiments.PolicyComparisonResult {
+	return experiments.RunPolicyComparison(cfg)
 }
 
 // WeekTrace generates the calibrated stand-in for the paper's analyzed

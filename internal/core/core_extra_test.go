@@ -100,9 +100,11 @@ func TestVarManagerSubmitsFlexibleSpecs(t *testing.T) {
 	s.LoadTrace(&workload.Trace{Nodes: 4, Horizon: time.Hour})
 	s.Start()
 	s.Run(time.Minute)
-	byLimit := s.Slurm.QueuedPilotsByLimit()
-	if byLimit[120*time.Minute] != 100 {
-		t.Fatalf("queued var jobs by 2h limit = %v", byLimit)
+	if got := s.Slurm.QueuedFlexiblePilots(); got != 100 {
+		t.Fatalf("queued flexible pilots = %d, want 100", got)
+	}
+	if byLimit := s.Slurm.QueuedPilotsByLimit(); len(byLimit) != 0 {
+		t.Fatalf("flexible jobs leaked into the fixed-length buckets: %v", byLimit)
 	}
 }
 

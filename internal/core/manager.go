@@ -1,10 +1,12 @@
 // Package core implements the primary contribution of the paper: the
 // HPC-Whisk layer that turns transient idle HPC nodes into OpenWhisk
-// workers. It contains the pilot-job manager with the fib and var
-// supply models (§III-D), the invoker lifecycle (warm-up → register →
-// healthy → SIGTERM hand-off → deregister, §III-C), the client-side
-// fallback wrapper of Alg. 1 (§III-E), and the monitoring perspectives
-// used by the paper's evaluation (§IV-A).
+// workers. It contains the policy-agnostic pilot-job engine (the
+// supply decision itself lives behind policy.SupplyPolicy — the
+// paper's fib and var models of §III-D are two registered policies),
+// the invoker lifecycle (warm-up → register → healthy → SIGTERM
+// hand-off → deregister, §III-C), the client-side fallback wrapper of
+// Alg. 1 (§III-E), and the monitoring perspectives used by the paper's
+// evaluation (§IV-A).
 package core
 
 import (
@@ -13,12 +15,19 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/dist"
+	"repro/internal/policy"
 	"repro/internal/slurm"
 	"repro/internal/stats"
 	"repro/internal/whisk"
 )
 
-// Mode selects the pilot-job supply model of §III-D.
+// Mode selects one of the paper's two pilot-job supply models
+// (§III-D).
+//
+// Deprecated: Mode survives as a thin alias for the two paper
+// policies. New code should set ManagerConfig.Policy (any
+// policy.SupplyPolicy, e.g. from the policy registry) instead; a nil
+// Policy falls back to the Mode field.
 type Mode uint8
 
 // Supply models: ModeFib submits bags of fixed-length jobs with greedy
@@ -39,32 +48,35 @@ func (m Mode) String() string {
 
 // SetA1 is the job-length set the paper selected for the fib model
 // (Table I, set A1).
-var SetA1 = Minutes(2, 4, 6, 8, 14, 22, 34, 56, 90)
+var SetA1 = policy.SetA1
 
 // Minutes builds a duration slice from minute values.
-func Minutes(ms ...int) []time.Duration {
-	out := make([]time.Duration, len(ms))
-	for i, m := range ms {
-		out[i] = time.Duration(m) * time.Minute
-	}
-	return out
-}
+func Minutes(ms ...int) []time.Duration { return policy.Minutes(ms...) }
 
 // ManagerConfig parameterizes the HPC-Whisk job manager.
 type ManagerConfig struct {
+	// Policy is the pilot-supply policy. When nil, the manager builds
+	// the paper policy selected by Mode from the Fib*/Var* fields
+	// below.
+	Policy policy.SupplyPolicy
+
+	// Mode selects the paper supply model when Policy is nil.
+	//
+	// Deprecated: set Policy instead.
 	Mode Mode
 
 	// Partition is the tier-0 Slurm partition pilots are submitted to.
 	Partition string
 
 	// FibLengths and FibDepth: keep FibDepth queued jobs of each length
-	// (the paper keeps 10 of each of the 9 A1 lengths).
+	// (the paper keeps 10 of each of the 9 A1 lengths). Used only when
+	// Policy is nil and Mode is ModeFib.
 	FibLengths []time.Duration
 	FibDepth   int
 
 	// VarDepth, VarMin, VarMax: keep VarDepth queued flexible jobs with
 	// --time-min=VarMin and --time=VarMax (the paper keeps 100 jobs of
-	// 2 min–2 h).
+	// 2 min–2 h). Used only when Policy is nil and Mode is ModeVar.
 	VarDepth int
 	VarMin   time.Duration
 	VarMax   time.Duration
@@ -112,6 +124,12 @@ func DefaultManagerConfig(mode Mode) ManagerConfig {
 	}
 }
 
+// policySeedOffset decorrelates the policy's private random stream
+// from the manager's warm-up/invoker stream (both pass through the
+// splitmix64 finalizer, so any fixed offset yields independent
+// streams).
+const policySeedOffset = 7919
+
 // pilotPhase tracks where a pilot job is in the invoker lifecycle.
 type pilotPhase uint8
 
@@ -130,18 +148,22 @@ type pilot struct {
 	healthyAt des.Time
 }
 
-// PilotManager is the external job manager of §III-D: it keeps the
-// Slurm queue stocked with preemptible tier-0 pilot jobs and runs each
-// started pilot through the invoker lifecycle against the controller.
+// PilotManager is the external job manager of §III-D: the
+// policy-agnostic engine that keeps the Slurm queue stocked with
+// preemptible tier-0 pilot jobs (what to stock is the supply policy's
+// decision) and runs each started pilot through the invoker lifecycle
+// against the controller.
 type PilotManager struct {
-	sim  *des.Sim
-	emu  *slurm.Emulator
-	ctrl *whisk.Controller
-	cfg  ManagerConfig
-	rng  *rand.Rand
+	sim    *des.Sim
+	emu    *slurm.Emulator
+	ctrl   *whisk.Controller
+	cfg    ManagerConfig
+	rng    *rand.Rand
+	policy policy.SupplyPolicy
 
-	pilots map[*slurm.Job]*pilot
-	ticker *des.Ticker
+	pilots  map[*slurm.Job]*pilot
+	pending []*slurm.Job // this manager's queued, not-yet-started jobs
+	ticker  *des.Ticker
 
 	// States tracks the OpenWhisk-level worker-state shares of
 	// Tables II/III (warming / healthy / irresponsive counts over time).
@@ -161,20 +183,34 @@ type PilotManager struct {
 }
 
 // NewPilotManager wires a manager to a Slurm emulator and controller.
+// A nil cfg.Policy builds the paper policy selected by cfg.Mode from
+// the config's Fib*/Var* fields.
 func NewPilotManager(emu *slurm.Emulator, ctrl *whisk.Controller, cfg ManagerConfig) *PilotManager {
-	if len(cfg.FibLengths) == 0 && cfg.Mode == ModeFib {
-		panic("core: fib manager needs job lengths")
+	pol := cfg.Policy
+	if pol == nil {
+		switch cfg.Mode {
+		case ModeVar:
+			pol = policy.NewVar(policy.VarConfig{Depth: cfg.VarDepth, Min: cfg.VarMin, Max: cfg.VarMax})
+		default:
+			pol = policy.NewFib(policy.FibConfig{Lengths: cfg.FibLengths, Depth: cfg.FibDepth})
+		}
 	}
+	pol.Init(dist.NewRand(cfg.Seed + policySeedOffset))
 	return &PilotManager{
 		sim:    emu.Sim(),
 		emu:    emu,
 		ctrl:   ctrl,
 		cfg:    cfg,
 		rng:    dist.NewRand(cfg.Seed),
+		policy: pol,
 		pilots: map[*slurm.Job]*pilot{},
 		States: NewWorkerStates(),
 	}
 }
+
+// Policy exposes the active supply policy (e.g. to read
+// policy-specific observability like the adaptive depth).
+func (m *PilotManager) Policy() policy.SupplyPolicy { return m.policy }
 
 // Start begins the replenishment loop (first top-up immediately).
 func (m *PilotManager) Start() {
@@ -193,56 +229,109 @@ func (m *PilotManager) Stop() {
 	}
 }
 
-// replenish tops the Slurm queue up to the configured depth, creating
-// new jobs only to replace ones that started (§III-D).
-func (m *PilotManager) replenish() {
-	switch m.cfg.Mode {
-	case ModeFib:
-		byLimit := m.emu.QueuedPilotsByLimit()
-		for _, l := range m.cfg.FibLengths {
-			for byLimit[l] < m.cfg.FibDepth {
-				m.submitFib(l)
-				byLimit[l]++
-			}
-		}
-	case ModeVar:
-		for m.emu.QueuedPilots() < m.cfg.VarDepth {
-			m.submitVar()
+// replenish delegates the queue top-up decision to the policy (§III-D:
+// every 15 s the manager restocks what started).
+func (m *PilotManager) replenish() { m.policy.Replenish(managerEnv{m}) }
+
+// managerEnv implements policy.Env over the manager's emulator and
+// controller.
+type managerEnv struct{ m *PilotManager }
+
+// Now implements policy.Env.
+func (e managerEnv) Now() des.Time { return e.m.sim.Now() }
+
+// QueuedPilots implements policy.Env.
+func (e managerEnv) QueuedPilots() int { return e.m.emu.QueuedPilots() }
+
+// QueuedFixedByLimit implements policy.Env.
+func (e managerEnv) QueuedFixedByLimit() map[time.Duration]int {
+	return e.m.emu.QueuedPilotsByLimit()
+}
+
+// QueuedFlexible implements policy.Env.
+func (e managerEnv) QueuedFlexible() int { return e.m.emu.QueuedFlexiblePilots() }
+
+// RunningPilots implements policy.Env.
+func (e managerEnv) RunningPilots() int { return len(e.m.pilots) }
+
+// HealthyInvokers implements policy.Env.
+func (e managerEnv) HealthyInvokers() int { return e.m.ctrl.HealthyCount() }
+
+// InvokerUtilization implements policy.Env.
+func (e managerEnv) InvokerUtilization() float64 { return e.m.ctrl.Utilization() }
+
+// Invocations implements policy.Env.
+func (e managerEnv) Invocations() (completed, rejected503 int) {
+	c := e.m.ctrl
+	return c.NSuccess + c.NFailed + c.NTimeout + c.N503, c.N503
+}
+
+// SubmitFixed implements policy.Env.
+func (e managerEnv) SubmitFixed(limit time.Duration, priority int64) {
+	m := e.m
+	m.Submitted++
+	j := m.emu.Submit(slurm.JobSpec{
+		Name:      "hpcwhisk-" + m.policy.Name(),
+		Partition: m.cfg.Partition,
+		Nodes:     1,
+		TimeLimit: limit,
+		Priority:  priority,
+		OnStart:   m.onPilotStart,
+		OnSigterm: m.onSigterm,
+		OnEnd:     m.onEnd,
+	})
+	m.pending = append(m.pending, j)
+}
+
+// SubmitFlexible implements policy.Env.
+func (e managerEnv) SubmitFlexible(min, max time.Duration) {
+	m := e.m
+	m.Submitted++
+	j := m.emu.Submit(slurm.JobSpec{
+		Name:      "hpcwhisk-" + m.policy.Name(),
+		Partition: m.cfg.Partition,
+		Nodes:     1,
+		TimeMin:   min,
+		TimeLimit: max,
+		OnStart:   m.onPilotStart,
+		OnSigterm: m.onSigterm,
+		OnEnd:     m.onEnd,
+	})
+	m.pending = append(m.pending, j)
+}
+
+// CancelQueued implements policy.Env: it cancels up to n of this
+// manager's pending pilots, newest first (the oldest keep their queue
+// age).
+func (e managerEnv) CancelQueued(n int) int {
+	m := e.m
+	cancelled := 0
+	for cancelled < n && len(m.pending) > 0 {
+		last := len(m.pending) - 1
+		j := m.pending[last]
+		m.pending[last] = nil
+		m.pending = m.pending[:last]
+		if m.emu.Cancel(j) {
+			cancelled++
 		}
 	}
+	return cancelled
 }
 
-func (m *PilotManager) submitFib(l time.Duration) {
-	m.Submitted++
-	m.emu.Submit(slurm.JobSpec{
-		Name:      "hpcwhisk-fib",
-		Partition: m.cfg.Partition,
-		Nodes:     1,
-		TimeLimit: l,
-		Priority:  int64(l / time.Minute),
-		OnStart:   m.onPilotStart,
-		OnSigterm: m.onSigterm,
-		OnEnd:     m.onEnd,
-	})
-}
-
-func (m *PilotManager) submitVar() {
-	m.Submitted++
-	m.emu.Submit(slurm.JobSpec{
-		Name:      "hpcwhisk-var",
-		Partition: m.cfg.Partition,
-		Nodes:     1,
-		TimeMin:   m.cfg.VarMin,
-		TimeLimit: m.cfg.VarMax,
-		OnStart:   m.onPilotStart,
-		OnSigterm: m.onSigterm,
-		OnEnd:     m.onEnd,
-	})
+// removePending drops a job that left the queue (it started).
+func (m *PilotManager) removePending(j *slurm.Job) {
+	for i, q := range m.pending {
+		if q == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
 }
 
 // onPilotStart boots the OpenWhisk invoker inside the pilot job: after
 // the warm-up time it registers with the controller and turns healthy.
 func (m *PilotManager) onPilotStart(j *slurm.Job) {
+	m.removePending(j)
 	m.PilotsStarted++
 	p := &pilot{job: j, phase: phaseWarming}
 	m.pilots[j] = p
@@ -260,6 +349,7 @@ func (m *PilotManager) onPilotStart(j *slurm.Job) {
 		m.States.Move(m.sim.Now(), phaseWarming, phaseHealthy)
 		p.phase = phaseHealthy
 	})
+	m.policy.PilotStarted(managerEnv{m})
 }
 
 // onSigterm runs the §III-C hand-off (or the ablation's hard kill).
@@ -299,24 +389,45 @@ func (m *PilotManager) onSigterm(j *slurm.Job, at des.Time) {
 }
 
 // onEnd covers every exit path, including SIGKILL before the drain
-// completed (the invoker is lost with whatever it still held).
+// completed (the invoker is lost with whatever it still held). The
+// policy observes the end of every started pilot.
 func (m *PilotManager) onEnd(j *slurm.Job, reason slurm.EndReason) {
 	p := m.pilots[j]
 	if p == nil {
+		// A queued job that never started (cancelled externally, e.g.
+		// scancel): forget it, or CancelQueued would later pop the
+		// stale entry and trim fewer live pilots than asked.
+		m.removePending(j)
 		return
 	}
 	delete(m.pilots, j)
-	if p.phase == phaseDone || reason == slurm.ReasonCancelled {
-		return
-	}
-	p.warmupEv.Stop()
-	if p.invoker != nil && p.invoker.State() != whisk.InvokerGone {
-		if p.phase == phaseHealthy {
-			m.ReadySpans.AddDuration(m.sim.Now() - p.healthyAt)
+	if p.phase != phaseDone && reason != slurm.ReasonCancelled {
+		p.warmupEv.Stop()
+		if p.invoker != nil && p.invoker.State() != whisk.InvokerGone {
+			if p.phase == phaseHealthy {
+				m.ReadySpans.AddDuration(m.sim.Now() - p.healthyAt)
+			}
+			p.invoker.Kill()
 		}
-		p.invoker.Kill()
+		m.finishPilot(p, m.sim.Now())
 	}
-	m.finishPilot(p, m.sim.Now())
+	m.policy.PilotEnded(managerEnv{m}, policy.PilotEnd{
+		Reason:     endReason(reason),
+		Limit:      j.Granted,
+		Registered: p.invoker != nil,
+	})
+}
+
+// endReason maps the emulator's exit reasons onto the policy view.
+func endReason(r slurm.EndReason) policy.EndReason {
+	switch r {
+	case slurm.ReasonPreempted:
+		return policy.EndPreempted
+	case slurm.ReasonTimeout:
+		return policy.EndExpired
+	default:
+		return policy.EndOther
+	}
 }
 
 func (m *PilotManager) finishPilot(p *pilot, at des.Time) {

@@ -42,17 +42,37 @@ type AblationRow struct {
 type AblationResult struct {
 	Rows    []AblationRow
 	Horizon time.Duration
+
+	// Policy is the supply policy the variants ran under ("" = fib).
+	Policy string
+}
+
+// AblationConfig parameterizes the hand-off ablation; Policy names the
+// pilot-supply policy every variant runs under (empty: the paper's
+// fib), so the hand-off machinery can be isolated under any supply
+// model.
+type AblationConfig struct {
+	Nodes   int
+	Horizon time.Duration
+	Seed    int64
+	Policy  string
 }
 
 // RunAblation runs a smaller cluster slice (for tractable bench times)
 // through each variant with identical trace and load seeds, isolating
 // the hand-off machinery's effect on lost requests.
 func RunAblation(nodes int, horizon time.Duration, seed int64) AblationResult {
-	res := AblationResult{Horizon: horizon}
+	return RunAblationWith(AblationConfig{Nodes: nodes, Horizon: horizon, Seed: seed})
+}
+
+// RunAblationWith is RunAblation under an explicit supply policy.
+func RunAblationWith(a AblationConfig) AblationResult {
+	res := AblationResult{Horizon: a.Horizon, Policy: a.Policy}
 	for _, v := range AblationVariants() {
-		cfg := FibDay(seed)
-		cfg.Nodes = nodes
-		cfg.Horizon = horizon
+		cfg := FibDay(a.Seed)
+		cfg.Policy = a.Policy
+		cfg.Nodes = a.Nodes
+		cfg.Horizon = a.Horizon
 		cfg.MeanIdleNodes = 6
 		cfg.SaturatedFraction = 0.02
 		cfg.QPS = 5

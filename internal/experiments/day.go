@@ -9,6 +9,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/dist"
 	"repro/internal/loadgen"
+	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/whisk"
 	"repro/internal/workload"
@@ -20,7 +21,16 @@ import (
 // on average; 0.6% vs 9.44% zero-available states), so the trace
 // calibration is per-day.
 type DayConfig struct {
-	Mode    core.Mode
+	// Mode selects the paper supply model when Policy is empty.
+	//
+	// Deprecated: set Policy (a registry name) instead.
+	Mode core.Mode
+
+	// Policy names the pilot-supply policy in the policy registry
+	// ("fib", "var", "adaptive", "lease", "hybrid", or anything
+	// registered by the embedding program). Empty falls back to Mode.
+	Policy string
+
 	Nodes   int
 	Horizon time.Duration
 	Seed    int64
@@ -99,6 +109,39 @@ func VarDay(seed int64) DayConfig {
 	}
 }
 
+// PolicyName resolves the effective supply-policy name: the Policy
+// field when set, else the deprecated Mode's name.
+func (cfg DayConfig) PolicyName() string {
+	if cfg.Policy != "" {
+		return cfg.Policy
+	}
+	return cfg.Mode.String()
+}
+
+// figLabel and tableLabel place the run in the paper's numbering; the
+// policies beyond the paper's two get the policy name instead.
+func (cfg DayConfig) figLabel() string {
+	switch cfg.PolicyName() {
+	case "fib":
+		return "5"
+	case "var":
+		return "6"
+	default:
+		return "X:" + cfg.PolicyName()
+	}
+}
+
+func (cfg DayConfig) tableLabel() string {
+	switch cfg.PolicyName() {
+	case "fib":
+		return "II"
+	case "var":
+		return "III"
+	default:
+		return "X:" + cfg.PolicyName()
+	}
+}
+
 // DayResult bundles the three perspectives of Tables II/III plus the
 // Fig. 5b/6b responsiveness series.
 type DayResult struct {
@@ -127,6 +170,7 @@ type DayResult struct {
 
 	// Emulator counters.
 	PilotsStarted int
+	Submitted     int
 	Preempted     int
 	Handoffs      int
 }
@@ -187,7 +231,7 @@ func RunDay(cfg DayConfig) DayResult {
 	sys.Run(5 * time.Minute)
 
 	set := coverage.Set{Name: "A1", Lengths: core.SetA1}
-	if cfg.Mode == core.ModeVar {
+	if cfg.PolicyName() == "var" {
 		set = coverage.TableISets()[5] // C2
 	}
 
@@ -197,6 +241,7 @@ func RunDay(cfg DayConfig) DayResult {
 		SlurmLevel:    sys.Logger.Stats(),
 		OW:            sys.Manager.OWStats(sys.Sim.Now()),
 		PilotsStarted: sys.Manager.PilotsStarted,
+		Submitted:     sys.Manager.Submitted,
 		Preempted:     sys.Slurm.Preempted,
 		Handoffs:      sys.Manager.Handoffs,
 	}
@@ -239,7 +284,7 @@ func slurmPerMinute(entries []core.SlurmLogEntry, horizon time.Duration) []float
 // aligned per-minute columns.
 func (r DayResult) RenderSeries(w io.Writer) {
 	fmt.Fprintf(w, "Fig %sa — workers per minute (sim / slurm / ow-healthy)\n",
-		map[core.Mode]string{core.ModeFib: "5", core.ModeVar: "6"}[r.Config.Mode])
+		r.Config.figLabel())
 	n := len(r.SimReadyPerMinute)
 	if len(r.SlurmPerMinute) < n {
 		n = len(r.SlurmPerMinute)
@@ -255,6 +300,9 @@ func (r DayResult) RenderSeries(w io.Writer) {
 
 func systemConfig(cfg DayConfig) core.SystemConfig {
 	sc := core.DefaultSystemConfig(cfg.Nodes, cfg.Mode)
+	if cfg.Policy != "" {
+		sc.Manager.Policy = policy.MustNew(cfg.Policy)
+	}
 	sc.Seed = cfg.Seed + 1000
 	sc.Manager.GracefulHandoff = cfg.GracefulHandoff
 	sc.Manager.InterruptRunning = cfg.InterruptRunning
@@ -264,8 +312,7 @@ func systemConfig(cfg DayConfig) core.SystemConfig {
 // Render prints the Table II/III layout plus the §V-C summary.
 func (r DayResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Table %s — %s day (%d nodes, %v)\n",
-		map[core.Mode]string{core.ModeFib: "II", core.ModeVar: "III"}[r.Config.Mode],
-		r.Config.Mode, r.Config.Nodes, r.Config.Horizon)
+		r.Config.tableLabel(), r.Config.PolicyName(), r.Config.Nodes, r.Config.Horizon)
 	fmt.Fprintf(w, "  %-22s %5s-%s-%-5s %6s   %-9s %-9s\n",
 		"perspective", "25p", "50p", "75p", "avg", "used", "not-used")
 	fmt.Fprintf(w, "  Simulation  warm-up   %5.0f %3.0f %5.0f %6.2f   %8.2f%% %8.2f%%\n",
@@ -290,8 +337,7 @@ func (r DayResult) Render(w io.Writer) {
 		o.ReadySpanAvg.Round(time.Minute), o.ReadySpanMedian.Round(time.Minute))
 	if r.Config.QPS > 0 {
 		fmt.Fprintf(w, "  responsiveness (Fig %sb): %s\n",
-			map[core.Mode]string{core.ModeFib: "5", core.ModeVar: "6"}[r.Config.Mode],
-			r.Load.String())
+			r.Config.figLabel(), r.Load.String())
 	}
 }
 

@@ -1,0 +1,28 @@
+// Command gengolden regenerates the RunDay golden renders under
+// internal/experiments/testdata. Run from the repo root after an
+// intentional behavior change:
+//
+//	go run ./internal/experiments/gengolden
+package main
+
+import (
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func render(cfg experiments.DayConfig, path string) {
+	r := experiments.RunDay(cfg)
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	r.Render(f)
+	r.RenderSeries(f)
+}
+
+func main() {
+	render(experiments.FibDay(2), "internal/experiments/testdata/fibday_seed2.golden")
+	render(experiments.VarDay(2), "internal/experiments/testdata/varday_seed2.golden")
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunDayMatchesPreRefactorGolden pins the SupplyPolicy refactor to
+// the pre-refactor behavior: the testdata goldens were rendered by the
+// original core.Mode-enum manager (before the policy interface
+// existed), and both the Mode-based and the registry-based fib/var
+// runs must still reproduce them byte for byte. Regenerate after an
+// intentional behavior change with `go run ./internal/experiments/gengolden`.
+func TestRunDayMatchesPreRefactorGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
+	cases := []struct {
+		name   string
+		golden string
+		cfg    DayConfig
+	}{
+		{"fib-mode", "fibday_seed2.golden", FibDay(2)},
+		{"var-mode", "varday_seed2.golden", VarDay(2)},
+		{"fib-policy", "fibday_seed2.golden", withPolicy(FibDay(2), "fib")},
+		{"var-policy", "varday_seed2.golden", withPolicy(VarDay(2), "var")},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := RunDay(tc.cfg)
+			var buf bytes.Buffer
+			r.Render(&buf)
+			r.RenderSeries(&buf)
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("render diverged from the pre-refactor golden %s (%d vs %d bytes)",
+					tc.golden, buf.Len(), len(want))
+			}
+		})
+	}
+}
+
+func withPolicy(cfg DayConfig, name string) DayConfig {
+	cfg.Policy = name
+	return cfg
+}

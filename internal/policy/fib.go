@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FibConfig parameterizes the fib supply model of §III-D: keep Depth
+// queued fixed-length jobs of each length, with greedy
+// length-proportional priorities.
+type FibConfig struct {
+	Lengths []time.Duration
+	Depth   int
+}
+
+// DefaultFibConfig returns the paper's configuration (10 jobs of each
+// of the 9 A1 lengths).
+func DefaultFibConfig() FibConfig {
+	return FibConfig{Lengths: append([]time.Duration(nil), SetA1...), Depth: 10}
+}
+
+// Fib is the paper's bag-of-tasks supply model.
+type Fib struct {
+	cfg FibConfig
+}
+
+// NewFib builds the fib policy.
+func NewFib(cfg FibConfig) *Fib {
+	if len(cfg.Lengths) == 0 {
+		panic("policy: fib needs job lengths")
+	}
+	return &Fib{cfg: cfg}
+}
+
+// Name implements SupplyPolicy.
+func (p *Fib) Name() string { return "fib" }
+
+// Init implements SupplyPolicy (fib draws no randomness).
+func (p *Fib) Init(*rand.Rand) {}
+
+// Replenish tops the queue up to Depth jobs of each length, creating
+// new jobs only to replace ones that started (§III-D).
+func (p *Fib) Replenish(env Env) {
+	byLimit := env.QueuedFixedByLimit()
+	for _, l := range p.cfg.Lengths {
+		for byLimit[l] < p.cfg.Depth {
+			env.SubmitFixed(l, int64(l/time.Minute))
+			byLimit[l]++
+		}
+	}
+}
+
+// PilotStarted implements SupplyPolicy.
+func (p *Fib) PilotStarted(Env) {}
+
+// PilotEnded implements SupplyPolicy.
+func (p *Fib) PilotEnded(Env, PilotEnd) {}

@@ -1,0 +1,54 @@
+package policy
+
+import (
+	"math/rand"
+	"time"
+)
+
+// VarConfig parameterizes the var supply model of §III-D: keep Depth
+// queued flexible jobs whose length Slurm decides between Min
+// (--time-min) and Max (--time).
+type VarConfig struct {
+	Depth    int
+	Min, Max time.Duration
+}
+
+// DefaultVarConfig returns the paper's configuration (100 jobs of
+// 2 min–2 h).
+func DefaultVarConfig() VarConfig {
+	return VarConfig{Depth: 100, Min: 2 * time.Minute, Max: 120 * time.Minute}
+}
+
+// Var is the paper's flexible-job supply model.
+type Var struct {
+	cfg VarConfig
+}
+
+// NewVar builds the var policy.
+func NewVar(cfg VarConfig) *Var {
+	if cfg.Depth <= 0 || cfg.Min <= 0 || cfg.Max < cfg.Min {
+		panic("policy: var needs a positive depth and 0 < min ≤ max")
+	}
+	return &Var{cfg: cfg}
+}
+
+// Name implements SupplyPolicy.
+func (p *Var) Name() string { return "var" }
+
+// Init implements SupplyPolicy (var draws no randomness).
+func (p *Var) Init(*rand.Rand) {}
+
+// Replenish tops the queue up to Depth flexible jobs. Like the paper's
+// manager it counts every pending pilot, not just flexible ones: under
+// a pure var run the two are the same set.
+func (p *Var) Replenish(env Env) {
+	for queued := env.QueuedPilots(); queued < p.cfg.Depth; queued++ {
+		env.SubmitFlexible(p.cfg.Min, p.cfg.Max)
+	}
+}
+
+// PilotStarted implements SupplyPolicy.
+func (p *Var) PilotStarted(Env) {}
+
+// PilotEnded implements SupplyPolicy.
+func (p *Var) PilotEnded(Env, PilotEnd) {}

@@ -270,13 +270,31 @@ func (e *Emulator) Cancel(j *Job) bool {
 // QueuedPilots returns the number of pending tier-0 jobs.
 func (e *Emulator) QueuedPilots() int { return len(e.pilotQueue) }
 
-// QueuedPilotsByLimit counts pending tier-0 jobs per time limit.
+// QueuedPilotsByLimit counts pending fixed-length tier-0 jobs per time
+// limit. Flexible (--time-min) jobs are excluded: their TimeLimit is
+// only an upper bound, so bucketing them with the fixed bags would let
+// a hybrid supply policy double-count its two halves.
 func (e *Emulator) QueuedPilotsByLimit() map[time.Duration]int {
 	out := map[time.Duration]int{}
 	for _, j := range e.pilotQueue {
+		if j.Variable() {
+			continue
+		}
 		out[j.Spec.TimeLimit]++
 	}
 	return out
+}
+
+// QueuedFlexiblePilots counts pending flexible (--time-min) tier-0
+// jobs.
+func (e *Emulator) QueuedFlexiblePilots() int {
+	n := 0
+	for _, j := range e.pilotQueue {
+		if j.Variable() {
+			n++
+		}
+	}
+	return n
 }
 
 // schedulePilotsOn places tier-0 jobs on the snapshot's idle nodes

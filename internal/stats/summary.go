@@ -45,19 +45,30 @@ func TCrit95(n int) float64 {
 }
 
 // Summarize aggregates the observations of one metric across replicas.
-// It returns the zero Summary for an empty input.
+//
+// Edge-case contract (guarded by TestSummarizeContract): the result is
+// always NaN-free. An empty input returns the zero Summary. A single
+// observation returns N=1 with Mean/Min/quantiles/Max all equal to it
+// and Std and CI95 zero (no spread is estimable from one replica).
+// Non-finite observations (NaN, ±Inf — e.g. a ratio metric whose
+// denominator was zero in one replica) are dropped before aggregation
+// and do not count toward N, so one degenerate replica cannot poison a
+// whole sweep cell.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		return Summary{}
-	}
 	var s Sample
 	var w Welford
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
 		s.Add(x)
 		w.Add(x)
 	}
+	if s.Len() == 0 {
+		return Summary{}
+	}
 	out := Summary{
-		N:      len(xs),
+		N:      s.Len(),
 		Mean:   w.Mean(),
 		Std:    w.Std(),
 		Min:    s.Min(),

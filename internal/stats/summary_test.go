@@ -18,6 +18,50 @@ func TestSummarizeSingle(t *testing.T) {
 	}
 }
 
+// TestSummarizeContract pins the documented edge-case contract: empty
+// and single-replica inputs yield NaN-free zero-spread summaries, and
+// non-finite observations are dropped rather than poisoning the
+// aggregate.
+func TestSummarizeContract(t *testing.T) {
+	nanFree := func(name string, s Summary) {
+		t.Helper()
+		for field, v := range map[string]float64{
+			"Mean": s.Mean, "Std": s.Std, "CI95": s.CI95,
+			"Min": s.Min, "P25": s.P25, "Median": s.Median, "P75": s.P75, "Max": s.Max,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v, want finite", name, field, v)
+			}
+		}
+	}
+	nanFree("empty", Summarize(nil))
+	nanFree("empty-slice", Summarize([]float64{}))
+	nanFree("single", Summarize([]float64{42}))
+
+	single := Summarize([]float64{42})
+	if single.N != 1 || single.Median != 42 || single.P25 != 42 || single.P75 != 42 {
+		t.Errorf("single-replica quantiles = %+v, want all 42", single)
+	}
+
+	// Non-finite replicas are dropped, not aggregated.
+	mixed := Summarize([]float64{1, math.NaN(), 3, math.Inf(1), math.Inf(-1)})
+	if mixed.N != 2 || mixed.Mean != 2 || mixed.Min != 1 || mixed.Max != 3 {
+		t.Errorf("Summarize with non-finite inputs = %+v, want N=2 over {1,3}", mixed)
+	}
+	nanFree("mixed", mixed)
+
+	// All-non-finite degenerates to the empty contract.
+	if got := Summarize([]float64{math.NaN(), math.Inf(1)}); got != (Summary{}) {
+		t.Errorf("all-non-finite input = %+v, want zero Summary", got)
+	}
+
+	// The zero-value Sample summarizes under the same contract.
+	var s Sample
+	if got := s.Summarize(); got != (Summary{}) {
+		t.Errorf("empty Sample.Summarize() = %+v, want zero Summary", got)
+	}
+}
+
 func TestSummarizeKnownValues(t *testing.T) {
 	// 1..5: mean 3, sample std sqrt(2.5), t(4 df)=2.776.
 	s := Summarize([]float64{5, 1, 4, 2, 3})

@@ -117,6 +117,24 @@ func (c *Controller) HealthyCount() int {
 	return n
 }
 
+// Utilization returns the busy share of healthy invoker capacity:
+// in-flight executions over total concurrency slots, in [0, 1]. It is
+// 0 with no healthy invoker. Supply policies use it as their
+// harvested-pool load signal.
+func (c *Controller) Utilization() float64 {
+	capacity, busy := 0, 0
+	for _, inv := range c.slots {
+		if inv != nil && inv.state == InvokerHealthy {
+			capacity += inv.cfg.Capacity
+			busy += len(inv.running)
+		}
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(busy) / float64(capacity)
+}
+
 // Invoke submits a call to the named action; done fires exactly once
 // with the final status. It returns the tracked invocation.
 func (c *Controller) Invoke(name string, done func(*Invocation)) *Invocation {
