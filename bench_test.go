@@ -114,7 +114,7 @@ func BenchmarkTableIIFibExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := FibDay(1)
 		cfg.QPS = 0 // coverage perspective only; Fig 5b has its own bench
-		r = RunDay(cfg)
+		r = experiments.RunDay(cfg)
 	}
 	b.ReportMetric(100*r.Coverage(), "live-coverage-%")
 	b.ReportMetric(100*r.Sim.Coverage(), "sim-bound-%")
@@ -127,7 +127,7 @@ func BenchmarkTableIIIVarExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := VarDay(1)
 		cfg.QPS = 0
-		r = RunDay(cfg)
+		r = experiments.RunDay(cfg)
 	}
 	b.ReportMetric(100*r.Coverage(), "live-coverage-%")
 	b.ReportMetric(100*r.Sim.Coverage(), "sim-bound-%")
@@ -139,7 +139,7 @@ func BenchmarkTableIIIVarExperiment(b *testing.B) {
 func BenchmarkFig5bResponsivenessFib(b *testing.B) {
 	var r DayResult
 	for i := 0; i < b.N; i++ {
-		r = RunDay(FibDay(1))
+		r = experiments.RunDay(FibDay(1))
 	}
 	b.ReportMetric(100*r.Load.InvokedShare, "invoked-%")
 	b.ReportMetric(100*r.Load.SuccessShare, "success-%")
@@ -150,7 +150,7 @@ func BenchmarkFig5bResponsivenessFib(b *testing.B) {
 func BenchmarkFig6bResponsivenessVar(b *testing.B) {
 	var r DayResult
 	for i := 0; i < b.N; i++ {
-		r = RunDay(VarDay(1))
+		r = experiments.RunDay(VarDay(1))
 	}
 	b.ReportMetric(100*r.Load.InvokedShare, "invoked-%")
 	b.ReportMetric(100*r.Load.SuccessShare, "success-%")
@@ -162,7 +162,7 @@ func BenchmarkFig6bResponsivenessVar(b *testing.B) {
 func BenchmarkFig7SeBS(b *testing.B) {
 	var r experiments.Fig7Result
 	for i := 0; i < b.N; i++ {
-		r = RunFig7(20000, 8, 20, 4)
+		r = experiments.RunFig7(20000, 8, 20, 4)
 	}
 	for _, row := range r.Rows {
 		b.ReportMetric(row.Speedup, row.Function+"-lambda/prom")
@@ -190,7 +190,7 @@ func BenchmarkWarmupCalibration(b *testing.B) {
 func BenchmarkAblationHandoff(b *testing.B) {
 	var r experiments.AblationResult
 	for i := 0; i < b.N; i++ {
-		r = RunAblation(256, 4*time.Hour, 5)
+		r = experiments.RunAblation(256, 4*time.Hour, 5)
 	}
 	for _, row := range r.Rows {
 		b.ReportMetric(100*row.LostShare, row.Variant.Name+"-lost-%")
@@ -203,7 +203,7 @@ func BenchmarkAblationHandoff(b *testing.B) {
 func BenchmarkScientificWorkload(b *testing.B) {
 	var r experiments.ScientificResult
 	for i := 0; i < b.N; i++ {
-		r = RunScientific(DefaultScientificConfig(1))
+		r = experiments.RunScientific(DefaultScientificConfig(1))
 	}
 	b.ReportMetric(100*r.Load.SuccessShare, "success-%")
 	b.ReportMetric(100*r.FallbackShare, "fallback-%")
@@ -214,7 +214,7 @@ func BenchmarkScientificWorkload(b *testing.B) {
 func BenchmarkEndogenousScheduler(b *testing.B) {
 	var r experiments.EndogenousResult
 	for i := 0; i < b.N; i++ {
-		r = RunEndogenous(DefaultEndogenousConfig(1))
+		r = experiments.RunEndogenous(DefaultEndogenousConfig(1))
 	}
 	b.ReportMetric(100*r.PrimeUtilization, "prime-util-%")
 	b.ReportMetric(100*r.PilotCoverage, "pilot-coverage-%")

@@ -1,6 +1,8 @@
 // Command extensions runs the beyond-the-paper experiments: the §VII
 // future-work scientific FaaS workload, the endogenous full-scheduler
-// run, and the hand-off ablation.
+// run, and the hand-off ablation. The three names map onto scenario
+// registry entries, so this is a convenience front-end for
+// `hpcwhisk-sim -scenario <name>`.
 //
 // Usage:
 //
@@ -10,33 +12,49 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
-func main() {
-	exp := flag.String("exp", "scientific", "experiment: scientific, endogenous, or ablation")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main behind testable seams: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("extensions", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "scientific", "experiment: scientific, endogenous, or ablation")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	switch *exp {
+	case "scientific", "endogenous", "ablation":
+	default:
+		fmt.Fprintf(stderr, "unknown experiment %q (want scientific, endogenous, or ablation)\n", *exp)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
-	switch *exp {
-	case "scientific":
-		res := experiments.RunScientific(experiments.DefaultScientificConfig(*seed))
-		res.Render(os.Stdout)
-	case "endogenous":
-		res := experiments.RunEndogenous(experiments.DefaultEndogenousConfig(*seed))
-		res.Render(os.Stdout)
-	case "ablation":
-		res := experiments.RunAblation(256, 4*time.Hour, *seed)
-		res.Render(os.Stdout)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	res, err := scenario.Run(ctx, *exp, scenario.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	scenario.Fprint(stdout, res)
+	fmt.Fprintf(stdout, "(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlagParity(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit %d, want 0", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-exp", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown experiment: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr %q lacks the unknown-experiment error", errb.String())
+	}
+}

@@ -1,26 +1,36 @@
-// Command hpcwhisk-sim runs a full 24-hour HPC-Whisk production
-// experiment (Tables II/III, Figs. 5/6 of the paper) on the simulated
-// cluster and prints the three monitoring perspectives plus the
-// responsiveness report.
+// Command hpcwhisk-sim runs one experiment scenario from the registry
+// on the simulated cluster: any table or figure of the paper (and any
+// custom-registered scenario) selected by name, configured through the
+// uniform axes (-seed/-nodes/-hours/-qps/-policy) plus generic
+// -set key=value scenario options.
 //
 // Usage:
 //
+//	hpcwhisk-sim -list
 //	hpcwhisk-sim -mode fib -seed 1
 //	hpcwhisk-sim -policy adaptive -hours 6
-//	hpcwhisk-sim -mode var -hours 24 -qps 10 -minutes
+//	hpcwhisk-sim -scenario endogenous -set utilization=0.9
+//	hpcwhisk-sim -scenario table1 -nodes 512 -timeout 30s
+//
+// A run is cancellable: ^C (or -timeout) stops the simulation at the
+// next epoch boundary and reports where it was cut.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -29,14 +39,19 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hpcwhisk-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	scenarioName := fs.String("scenario", "", "scenario to run (see -list); empty derives the paper day from -policy/-mode")
+	list := fs.Bool("list", false, "list the registered scenarios and exit")
+	var sets scenario.SetFlag
+	fs.Var(&sets, "set", "scenario-specific option as key=value (repeatable; see -list)")
 	mode := fs.String("mode", "fib", "paper supply model: fib or var (deprecated alias of -policy)")
 	policyName := fs.String("policy", "", "supply policy (registry names: "+strings.Join(policy.Names(), ",")+"); overrides -mode")
 	seed := fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 	nodes := fs.Int("nodes", experiments.PrometheusNodes, "cluster size")
 	hours := fs.Int("hours", 24, "experiment length in hours")
 	qps := fs.Float64("qps", 10, "responsiveness load (0 disables)")
-	minutes := fs.Bool("minutes", false, "print the per-minute Fig 5b/6b series")
-	series := fs.Bool("series", false, "print the per-minute worker-count panels (Fig 5a/6a)")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit; 0 runs to completion (^C also cancels)")
+	minutes := fs.Bool("minutes", false, "print the per-minute Fig 5b/6b series (day scenarios)")
+	series := fs.Bool("series", false, "print the per-minute worker-count panels (Fig 5a/6a, day scenarios)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -44,40 +59,80 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	name := *policyName
+	if *list {
+		fmt.Fprintln(stdout, "registered scenarios (run with -scenario <name>):")
+		scenario.FprintCatalog(stdout)
+		return 0
+	}
+
+	// Resolve the scenario: explicit -scenario, or the paper day the
+	// selected policy historically implied (var keeps its own day).
+	name := *scenarioName
+	policySel := *policyName
+	if policySel == "" {
+		policySel = *mode
+	}
 	if name == "" {
-		name = *mode
+		name = "fib-day"
+		if policySel == "var" {
+			name = "var-day"
+		}
 	}
-	if _, err := policy.New(name); err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+
+	// Only explicitly set axes reach the scenario, so every scenario
+	// keeps its own paper defaults under plain `-scenario <name>`.
+	opts := []scenario.Option{scenario.WithSeed(*seed)}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["nodes"] {
+		opts = append(opts, scenario.WithNodes(*nodes))
 	}
-	cfg := experiments.FibDay(*seed)
-	if name == "var" {
-		cfg = experiments.VarDay(*seed)
+	if explicit["hours"] {
+		opts = append(opts, scenario.WithHorizon(time.Duration(*hours)*time.Hour))
 	}
-	cfg.Policy = name
-	cfg.Nodes = *nodes
-	cfg.Horizon = time.Duration(*hours) * time.Hour
-	cfg.QPS = *qps
+	if explicit["qps"] {
+		opts = append(opts, scenario.WithQPS(*qps))
+	}
+	if explicit["policy"] || explicit["mode"] || *scenarioName == "" {
+		opts = append(opts, scenario.WithPolicy(policySel))
+	}
+	opts = append(opts, sets.Options()...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
-	res := experiments.RunDay(cfg)
-	res.Render(stdout)
-	fmt.Fprintf(stdout, "(simulated %v of cluster time in %v)\n", cfg.Horizon, time.Since(start).Round(time.Millisecond))
-
-	if *series {
-		fmt.Fprintln(stdout)
-		res.RenderSeries(stdout)
+	res, err := scenario.Run(ctx, name, opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		var canceled *scenario.CancelError
+		if errors.As(err, &canceled) {
+			return 1
+		}
+		return 2
 	}
 
-	if *minutes && res.Series != nil {
-		fmt.Fprintln(stdout, "\nper-minute series (Fig 5b/6b):")
-		fmt.Fprintf(stdout, "%-8s %8s %8s %8s %8s\n", "minute", "success", "failed", "lost", "503")
-		for i, row := range res.Series.Rows() {
-			fmt.Fprintf(stdout, "%-8d %8d %8d %8d %8d\n", i,
-				row.Counts[loadgen.LabelSuccess], row.Counts[loadgen.LabelFailed],
-				row.Counts[loadgen.LabelLost], row.Counts[loadgen.Label503])
+	scenario.Fprint(stdout, res)
+	fmt.Fprintf(stdout, "(simulated scenario %q in %v)\n", name, time.Since(start).Round(time.Millisecond))
+
+	if day, ok := res.Unwrap().(experiments.DayResult); ok {
+		if *series {
+			fmt.Fprintln(stdout)
+			day.RenderSeries(stdout)
+		}
+		if *minutes && day.Series != nil {
+			fmt.Fprintln(stdout, "\nper-minute series (Fig 5b/6b):")
+			fmt.Fprintf(stdout, "%-8s %8s %8s %8s %8s\n", "minute", "success", "failed", "lost", "503")
+			for i, row := range day.Series.Rows() {
+				fmt.Fprintf(stdout, "%-8d %8d %8d %8d %8d\n", i,
+					row.Counts[loadgen.LabelSuccess], row.Counts[loadgen.LabelFailed],
+					row.Counts[loadgen.LabelLost], row.Counts[loadgen.Label503])
+			}
 		}
 	}
 	return 0

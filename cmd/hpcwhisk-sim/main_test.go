@@ -73,6 +73,70 @@ func TestRunGolden(t *testing.T) {
 	}
 }
 
+// TestListScenarios: -list prints the whole catalog and exits 0.
+func TestListScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list: exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"fib-day", "var-day", "fig1", "fig2", "fig3", "fig7",
+		"table1", "ablation", "policy-comparison", "scientific", "endogenous"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks scenario %q", name)
+		}
+	}
+	if !strings.Contains(out.String(), "-set utilization=<float>") {
+		t.Error("-list output lacks the per-scenario option docs")
+	}
+}
+
+// TestGenericScenario: any registered scenario runs through the same
+// flag surface with zero scenario-specific CLI code.
+func TestGenericScenario(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "fig3", "-seed", "7"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Fig 3 —") {
+		t.Errorf("output lacks the Fig 3 render:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `(simulated scenario "fig3"`) {
+		t.Errorf("output lacks the timing line:\n%s", out.String())
+	}
+}
+
+// TestSetOption: -set reaches the scenario; bad keys and values are
+// rejected with exit 2 before anything runs.
+func TestSetOption(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "fig2", "-set", "jobs=3000"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "3000 jobs") {
+		t.Errorf("jobs option did not reach the scenario:\n%s", out.String())
+	}
+
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-scenario", "bogus"}, "unknown scenario"},
+		{[]string{"-scenario", "fig2", "-set", "jobz=3000"}, "no option"},
+		{[]string{"-scenario", "fig2", "-set", "jobs=many"}, "does not parse"},
+		{[]string{"-scenario", "fig2", "-set", "noequals"}, "key=value"},
+	}
+	for _, tc := range cases {
+		out.Reset()
+		errb.Reset()
+		if code := run(tc.args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit %d, want 2", tc.args, code)
+		}
+		if !strings.Contains(errb.String(), tc.wantErr) {
+			t.Errorf("%v: stderr %q lacks %q", tc.args, errb.String(), tc.wantErr)
+		}
+	}
+}
+
 // TestModeFlagStillWorks keeps the deprecated -mode spelling alive.
 func TestModeFlagStillWorks(t *testing.T) {
 	var out, errb bytes.Buffer

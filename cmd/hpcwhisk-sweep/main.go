@@ -1,17 +1,17 @@
-// Command hpcwhisk-sweep runs a replicated parameter sweep of the
-// 24-hour production experiment: a grid over supply policy × QPS ×
-// cluster size, each cell repeated across decorrelated seeds and
-// aggregated into mean / 95%-CI / quantile summaries. The paper's
-// Tables II-III report single-seed point estimates over two supply
-// models; this is the multi-trial version over the whole policy
-// registry, parallel across GOMAXPROCS workers and bit-for-bit
-// deterministic regardless of worker count.
+// Command hpcwhisk-sweep runs replicated parameter sweeps over the
+// scenario registry: any registered scenario — every paper table and
+// figure, or anything custom — fans out across decorrelated seeds and
+// an option grid (QPS × cluster size × generic -set options), parallel
+// across GOMAXPROCS workers and bit-for-bit deterministic regardless
+// of worker count.
 //
 // Usage:
 //
+//	hpcwhisk-sweep -list
 //	hpcwhisk-sweep -replicas 8 -seed 1
 //	hpcwhisk-sweep -policy fib,var,adaptive,lease,hybrid -qps 5,10,20 -hours 6 -format csv
-//	hpcwhisk-sweep -replicas 32 -workers 4 -format json -out sweep.json
+//	hpcwhisk-sweep -scenario endogenous,scientific -replicas 4 -format json
+//	hpcwhisk-sweep -scenario endogenous -set utilization=0.9 -replicas 8
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
 
@@ -37,6 +38,10 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hpcwhisk-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	scenarios := fs.String("scenario", "", "comma-separated scenarios to grid over (see -list); empty sweeps the paper day per -policy")
+	list := fs.Bool("list", false, "list the registered scenarios and exit")
+	var sets scenario.SetFlag
+	fs.Var(&sets, "set", "scenario-specific option as key=value, applied to every grid cell (repeatable)")
 	policies := fs.String("policy", "", "comma-separated supply policies to grid over (registry names: "+strings.Join(policy.Names(), ",")+"); overrides -modes")
 	modes := fs.String("modes", "fib", "deprecated alias of -policy (kept for old scripts)")
 	qpsList := fs.String("qps", "10", "comma-separated QPS levels to grid over (0 disables load)")
@@ -54,11 +59,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	selected := *policies
-	if selected == "" {
-		selected = *modes
+	if *list {
+		fmt.Fprintln(stdout, "sweepable scenarios (-scenario <names>; axes you set grid, unset axes keep paper defaults):")
+		scenario.FprintCatalog(stdout)
+		return 0
 	}
-	points, err := buildGrid(selected, *qpsList, *nodesList, *hours)
+
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var cells []sweep.ScenarioPoint
+	var err error
+	if *scenarios != "" {
+		// The policy grid belongs to the legacy day sweep; with
+		// -scenario the policy is a uniform axis, not a grid. Refuse
+		// the combination rather than silently dropping a flag.
+		if explicit["policy"] || explicit["modes"] {
+			fmt.Fprintln(stderr, "-scenario and -policy/-modes cannot be combined; grid policies with separate -scenario cells or a policy-comparison sweep")
+			return 2
+		}
+		cells, err = buildScenarioGrid(*scenarios, *qpsList, *nodesList, *hours, sets, explicit)
+	} else {
+		selected := *policies
+		if selected == "" {
+			selected = *modes
+		}
+		cells, err = buildGrid(selected, *qpsList, *nodesList, *hours, sets)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -66,7 +93,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := sweep.Config{Replicas: *replicas, Workers: *workers, BaseSeed: *seed}
 	start := time.Now()
-	results := sweep.Sweep(cfg, points)
+	results, runErr := sweep.SweepScenarios(cfg, cells)
+	if results == nil { // validation failure: nothing ran
+		fmt.Fprintln(stderr, runErr)
+		return 2
+	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 
 	w := stdout
@@ -91,23 +122,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "swept %d points × %d replicas in %v\n", len(points), *replicas, elapsed)
+	fmt.Fprintf(stderr, "swept %d points × %d replicas in %v\n", len(cells), *replicas, elapsed)
+	if runErr != nil { // replicas failed: results are partial
+		fmt.Fprintln(stderr, "some replicas failed:", runErr)
+		return 1
+	}
 	return 0
 }
 
-// buildGrid expands the policy × qps × nodes grid into sweep points
-// over the Table II/III day experiments. Every policy runs the fib
-// day's trace calibration except "var", which keeps its own paper day.
-func buildGrid(policies, qpsList, nodesList string, hours int) ([]sweep.Point, error) {
-	var points []sweep.Point
+// buildGrid expands the legacy policy × qps × nodes grid into
+// scenario-registry cells over the Table II/III day experiments.
+// Every policy runs the fib day's trace calibration except "var",
+// which keeps its own paper day — exactly the pre-registry behavior,
+// now expressed as fib-day/var-day scenario cells. -set options apply
+// to every cell (the day scenarios document actions/sleep-exec/...).
+// Cells are validated by SweepScenarios before anything runs.
+func buildGrid(policies, qpsList, nodesList string, hours int, sets scenario.SetFlag) ([]sweep.ScenarioPoint, error) {
+	var cells []sweep.ScenarioPoint
 	for _, name := range strings.Split(policies, ",") {
 		name = strings.TrimSpace(name)
-		if _, err := policy.New(name); err != nil {
-			return nil, err
-		}
-		base := experiments.FibDay
+		day := "fib-day"
 		if name == "var" {
-			base = experiments.VarDay
+			day = "var-day"
 		}
 		for _, qpsStr := range strings.Split(qpsList, ",") {
 			qps, err := strconv.ParseFloat(strings.TrimSpace(qpsStr), 64)
@@ -119,22 +155,97 @@ func buildGrid(policies, qpsList, nodesList string, hours int) ([]sweep.Point, e
 				if err != nil {
 					return nil, fmt.Errorf("bad nodes %q: %v", nodesStr, err)
 				}
-				name, base, qps, nodes := name, base, qps, nodes
-				points = append(points, sweep.Point{
-					Name: fmt.Sprintf("%s/qps=%g/nodes=%d", name, qps, nodes),
-					Run: func(seed int64) sweep.Metrics {
-						cfg := base(seed)
-						cfg.Policy = name
-						cfg.QPS = qps
-						cfg.Nodes = nodes
-						cfg.Horizon = time.Duration(hours) * time.Hour
-						return experiments.RunDay(cfg).Metrics()
-					},
+				opts := []scenario.Option{
+					scenario.WithPolicy(name),
+					scenario.WithQPS(qps),
+					scenario.WithNodes(nodes),
+					scenario.WithHorizon(time.Duration(hours) * time.Hour),
+				}
+				opts = append(opts, sets.Options()...)
+				cells = append(cells, sweep.ScenarioPoint{
+					Name:     fmt.Sprintf("%s/qps=%g/nodes=%d", name, qps, nodes),
+					Scenario: day,
+					Options:  opts,
 				})
 			}
 		}
 	}
-	return points, nil
+	return cells, nil
+}
+
+// buildScenarioGrid expands scenarios × qps × nodes into cells. Grid
+// axes the caller never set stay off the grid (and out of the cell
+// names), so each scenario keeps its own paper defaults; setting an
+// axis a scenario does not honor fails SweepScenarios' validation
+// (no silent duplicate cells).
+func buildScenarioGrid(scenarios, qpsList, nodesList string, hours int, sets scenario.SetFlag, explicit map[string]bool) ([]sweep.ScenarioPoint, error) {
+	type axis struct {
+		label string
+		opt   scenario.Option
+	}
+	expand := func(flagName, listStr string, parse func(string) (axis, error)) ([]axis, error) {
+		if !explicit[flagName] {
+			return []axis{{}}, nil // unset: one cell, scenario default
+		}
+		var out []axis
+		for _, s := range strings.Split(listStr, ",") {
+			a, err := parse(strings.TrimSpace(s))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	}
+
+	qpsAxis, err := expand("qps", qpsList, func(s string) (axis, error) {
+		q, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return axis{}, fmt.Errorf("bad qps %q: %v", s, err)
+		}
+		return axis{label: fmt.Sprintf("/qps=%g", q), opt: scenario.WithQPS(q)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	nodesAxis, err := expand("nodes", nodesList, func(s string) (axis, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return axis{}, fmt.Errorf("bad nodes %q: %v", s, err)
+		}
+		return axis{label: fmt.Sprintf("/nodes=%d", n), opt: scenario.WithNodes(n)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var shared []scenario.Option
+	if explicit["hours"] {
+		shared = append(shared, scenario.WithHorizon(time.Duration(hours)*time.Hour))
+	}
+	shared = append(shared, sets.Options()...)
+
+	var cells []sweep.ScenarioPoint
+	for _, name := range strings.Split(scenarios, ",") {
+		name = strings.TrimSpace(name)
+		for _, q := range qpsAxis {
+			for _, n := range nodesAxis {
+				opts := append([]scenario.Option(nil), shared...)
+				if q.opt != nil {
+					opts = append(opts, q.opt)
+				}
+				if n.opt != nil {
+					opts = append(opts, n.opt)
+				}
+				cells = append(cells, sweep.ScenarioPoint{
+					Name:     name + q.label + n.label,
+					Scenario: name,
+					Options:  opts,
+				})
+			}
+		}
+	}
+	return cells, nil
 }
 
 func writeJSON(w io.Writer, results []sweep.Result) error {

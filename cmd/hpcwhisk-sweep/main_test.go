@@ -12,7 +12,7 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files")
 
 func TestBuildGridShape(t *testing.T) {
-	points, err := buildGrid("fib,var,adaptive", "5,10", "64,128", 24)
+	points, err := buildGrid("fib,var,adaptive", "5,10", "64,128", 24, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,13 +32,16 @@ func TestBuildGridShape(t *testing.T) {
 }
 
 func TestBuildGridErrors(t *testing.T) {
+	// Unparsable axis values fail in the builder; semantic errors
+	// (unknown policy, unknown -set key) fail in SweepScenarios'
+	// upfront validation — see TestRunRejectsBadFlags and
+	// TestLegacyGridHonorsSetOptions.
 	cases := []struct{ policies, qps, nodes string }{
-		{"bogus", "10", "64"},
 		{"fib", "ten", "64"},
 		{"fib", "10", "many"},
 	}
 	for _, tc := range cases {
-		if _, err := buildGrid(tc.policies, tc.qps, tc.nodes, 1); err == nil {
+		if _, err := buildGrid(tc.policies, tc.qps, tc.nodes, 1, nil); err == nil {
 			t.Errorf("buildGrid(%q, %q, %q) succeeded, want error", tc.policies, tc.qps, tc.nodes)
 		}
 	}
@@ -59,6 +62,115 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"-h"}, &out, &errb); code != 0 {
 		t.Errorf("-h: exit %d, want 0", code)
+	}
+}
+
+// TestListScenarios: -list prints the sweepable catalog and exits 0.
+func TestListScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list: exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"fib-day", "endogenous", "table1"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks scenario %q", name)
+		}
+	}
+}
+
+// TestScenarioGridNaming: explicit grid axes land in the cell names,
+// unset ones stay off (so each scenario keeps its paper defaults).
+func TestScenarioGridNaming(t *testing.T) {
+	cells, err := buildScenarioGrid("fib-day,var-day", "5,10", "64", 24, nil,
+		map[string]bool{"qps": true, "nodes": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fib-day/qps=5/nodes=64", "fib-day/qps=10/nodes=64",
+		"var-day/qps=5/nodes=64", "var-day/qps=10/nodes=64",
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("%d cells, want %d", len(cells), len(want))
+	}
+	for i, c := range cells {
+		if c.Name != want[i] {
+			t.Errorf("cell %d named %q, want %q", i, c.Name, want[i])
+		}
+	}
+
+	cells, err = buildScenarioGrid("fig2", "10", "2239", 24, nil, map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Name != "fig2" {
+		t.Fatalf("default-axes grid = %+v, want one bare fig2 cell", cells)
+	}
+}
+
+// TestScenarioSweepRuns: a whole scenario sweep through the CLI, with
+// a -set option applied to every cell.
+func TestScenarioSweepRuns(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "fig2", "-replicas", "2", "-seed", "5",
+		"-set", "jobs=500", "-format", "csv"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fig2,jobs,2,500") {
+		t.Errorf("csv lacks the fig2 jobs row proving the -set option applied:\n%s", out.String())
+	}
+
+	errb.Reset()
+	if code := run([]string{"-scenario", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown scenario: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown scenario") {
+		t.Errorf("stderr %q lacks the unknown-scenario error", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-scenario", "fig3", "-set", "jobs=1"}, &out, &errb); code != 2 {
+		t.Errorf("option unknown to one scenario: exit %d, want 2", code)
+	}
+
+	// Gridding an axis a scenario does not honor fails fast instead
+	// of fanning out identical duplicate cells.
+	errb.Reset()
+	if code := run([]string{"-scenario", "fig2", "-qps", "5,10,20"}, &out, &errb); code != 2 {
+		t.Errorf("-qps grid over qps-less scenario: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "does not use the qps axis") {
+		t.Errorf("stderr %q lacks the unused-axis error", errb.String())
+	}
+
+	// -scenario and the legacy policy grid cannot combine: refusing
+	// beats silently dropping the user's policy list.
+	errb.Reset()
+	if code := run([]string{"-scenario", "fig2", "-policy", "fib,adaptive"}, &out, &errb); code != 2 {
+		t.Errorf("-scenario with -policy: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "cannot be combined") {
+		t.Errorf("stderr %q lacks the conflict error", errb.String())
+	}
+}
+
+// TestLegacyGridHonorsSetOptions: -set reaches the legacy policy-grid
+// cells — an unknown key fails the sweep's upfront validation, and a
+// known day option runs through.
+func TestLegacyGridHonorsSetOptions(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-policy", "fib", "-qps", "0", "-nodes", "48", "-hours", "1",
+		"-replicas", "1", "-set", "bogus=7"}, &out, &errb); code != 2 {
+		t.Errorf("unknown -set key on legacy grid: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no option") {
+		t.Errorf("stderr %q lacks the unknown-option error", errb.String())
+	}
+	errb.Reset()
+	out.Reset()
+	if code := run([]string{"-policy", "fib", "-qps", "0", "-nodes", "48", "-hours", "1",
+		"-replicas", "1", "-set", "actions=7", "-format", "csv"}, &out, &errb); code != 0 {
+		t.Errorf("known -set key on legacy grid: exit %d, stderr: %s", code, errb.String())
 	}
 }
 

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,33 +19,44 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	seed := flag.Int64("seed", 1, "random seed")
-	nodes := flag.Int("nodes", experiments.PrometheusNodes, "cluster size")
-	days := flag.Int("days", 7, "trace length in days")
-	traceOut := flag.String("trace-out", "", "optional path to dump the trace as CSV")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main behind testable seams: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("idle-analysis", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "random seed")
+	nodes := fs.Int("nodes", experiments.PrometheusNodes, "cluster size")
+	days := fs.Int("days", 7, "trace length in days")
+	traceOut := fs.String("trace-out", "", "optional path to dump the trace as CSV")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	horizon := time.Duration(*days) * 24 * time.Hour
 	tr := workload.DefaultIdleProcess(*nodes, horizon, *seed).Generate()
 
 	fig1 := experiments.RunFig1(tr)
-	fig1.Render(os.Stdout)
-	fmt.Println()
+	fig1.Render(stdout)
+	fmt.Fprintln(stdout)
 	fig2 := experiments.RunFig2(*seed)
-	fig2.Render(os.Stdout)
+	fig2.Render(stdout)
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "trace-out:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "trace-out:", err)
+			return 1
 		}
 		defer f.Close()
 		if err := tr.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "trace-out:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "trace-out:", err)
+			return 1
 		}
-		fmt.Printf("\ntrace written to %s (%d periods)\n", *traceOut, len(tr.Periods))
+		fmt.Fprintf(stdout, "\ntrace written to %s (%d periods)\n", *traceOut, len(tr.Periods))
 	}
+	return 0
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -17,25 +18,35 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	seed := flag.Int64("seed", 1, "random seed")
-	nodes := flag.Int("nodes", experiments.PrometheusNodes, "cluster size")
-	days := flag.Int("days", 7, "trace length in days")
-	tracePath := flag.String("trace", "", "optional CSV trace to analyze instead of generating")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main behind testable seams: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("joblen-opt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "random seed")
+	nodes := fs.Int("nodes", experiments.PrometheusNodes, "cluster size")
+	days := fs.Int("days", 7, "trace length in days")
+	tracePath := fs.String("trace", "", "optional CSV trace to analyze instead of generating")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	var tr *workload.Trace
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "trace:", err)
+			return 1
 		}
 		tr, err = workload.ReadCSV(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "trace:", err)
+			return 1
 		}
 	} else {
 		horizon := time.Duration(*days) * 24 * time.Hour
@@ -43,5 +54,6 @@ func main() {
 	}
 
 	res := experiments.RunTableI(tr)
-	res.Render(os.Stdout)
+	res.Render(stdout)
+	return 0
 }

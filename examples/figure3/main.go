@@ -2,15 +2,23 @@
 // backfilled onto five nodes (minimal-makespan shape) and short pilot
 // jobs of 2/4/6/10 minutes fill the idle gaps, covering most of the
 // otherwise-wasted surface.
+// It runs through the scenario registry — the same path as
+// `hpcwhisk-sim -scenario fig3`.
 package main
 
 import (
+	"context"
+	"fmt"
 	"os"
 
 	hpcwhisk "repro"
 )
 
 func main() {
-	res := hpcwhisk.RunFig3(3)
-	res.Render(os.Stdout)
+	res, err := hpcwhisk.RunScenario(context.Background(), "fig3", hpcwhisk.WithSeed(3))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hpcwhisk.RenderScenario(os.Stdout, res)
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -63,13 +64,20 @@ func main() {
 		return &officeHours{deep: 80, shallow: 10, openAt: 8, shut: 18}
 	})
 
-	cfg := hpcwhisk.DefaultPolicyComparisonConfig(1)
-	cfg.Policies = []string{"fib", "office-hours"}
-	cfg.Nodes = 128
-	cfg.Horizon = 6 * time.Hour
-
+	// The comparison runs through the scenario registry: a custom
+	// policy slots into the standard policy-comparison scenario by
+	// name, exactly like `hpcwhisk-sim -scenario policy-comparison
+	// -set policies=fib,office-hours`.
 	fmt.Println("comparing the custom office-hours policy against fib...")
-	res := hpcwhisk.RunPolicyComparison(cfg)
-	res.Render(os.Stdout)
+	res, err := hpcwhisk.RunScenario(context.Background(), "policy-comparison",
+		hpcwhisk.WithSeed(1),
+		hpcwhisk.WithNodes(128),
+		hpcwhisk.WithHorizon(6*time.Hour),
+		hpcwhisk.WithOption("policies", "fib,office-hours"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hpcwhisk.RenderScenario(os.Stdout, res)
 	fmt.Printf("\nregistered policies: %v\n", hpcwhisk.PolicyNames())
 }

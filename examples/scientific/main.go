@@ -2,15 +2,24 @@
 // run HPC-Whisk under a realistic, heterogeneous function population
 // (Azure-Functions-calibrated durations, Zipf popularity, long
 // non-interruptible functions) with the Alg. 1 commercial fallback.
+// It runs through the scenario registry — the same path as
+// `hpcwhisk-sim -scenario scientific`.
 package main
 
 import (
+	"context"
+	"fmt"
 	"os"
 
 	hpcwhisk "repro"
 )
 
 func main() {
-	res := hpcwhisk.RunScientific(hpcwhisk.DefaultScientificConfig(1))
-	res.Render(os.Stdout)
+	res, err := hpcwhisk.RunScenario(context.Background(), "scientific", hpcwhisk.WithSeed(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hpcwhisk.RenderScenario(os.Stdout, res)
+	fmt.Printf("fallback share: %.1f%%\n", 100*res.Metrics()["fallback-share"])
 }

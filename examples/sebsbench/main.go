@@ -1,15 +1,27 @@
 // SeBS benchmark (Fig. 7): run the real bfs/mst/pagerank kernels warm
 // and compare the HPC-node platform against the AWS-Lambda 2048 MB
 // platform — the paper observed the HPC node ≈15% faster.
+// The graph size and invocation count travel as generic scenario
+// options, the same way `hpcwhisk-sim -scenario fig7 -set
+// vertices=30000` passes them.
 package main
 
 import (
+	"context"
+	"fmt"
 	"os"
 
 	hpcwhisk "repro"
 )
 
 func main() {
-	res := hpcwhisk.RunFig7(30000, 8, 50, 4)
-	res.Render(os.Stdout)
+	res, err := hpcwhisk.RunScenario(context.Background(), "fig7",
+		hpcwhisk.WithSeed(4),
+		hpcwhisk.WithOption("vertices", "30000"),
+		hpcwhisk.WithOption("invocations", "50"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hpcwhisk.RenderScenario(os.Stdout, res)
 }

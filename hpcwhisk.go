@@ -13,14 +13,19 @@
 //   - Workloads: GenerateTrace builds the calibrated idle-availability
 //     trace standing in for the paper's production logs; GenerateJobs
 //     builds the Fig. 2 HPC job stream.
-//   - Experiments: the Run* functions regenerate every table and figure
-//     of the paper's evaluation.
+//   - Experiments: every table and figure of the paper's evaluation is
+//     a named scenario in a registry — enumerable via Scenarios, run via
+//     RunScenario with functional options, cancellable through a
+//     context, and sweepable by name. The legacy Run* functions survive
+//     as thin deprecated wrappers.
 //
 // Everything runs on a deterministic virtual clock: a seeded run is
 // reproducible bit-for-bit, and 24-hour experiments complete in seconds.
 package hpcwhisk
 
 import (
+	"context"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -29,6 +34,7 @@ import (
 	"repro/internal/lambda"
 	"repro/internal/loadgen"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/sebs"
 	"repro/internal/slurm"
 	"repro/internal/stats"
@@ -228,7 +234,83 @@ func NewSeBSWorkload(vertices, degree int, seed int64) *SeBSWorkload {
 	return sebs.NewWorkload(vertices, degree, seed)
 }
 
+// Scenario layer: the experiment catalog as first-class, enumerable,
+// uniformly configured units. Every paper artifact — and every custom
+// scenario the embedding program registers — is runnable by name with
+// the same Config/Result contract, cancellable mid-run, and sweepable
+// across seeds and option grids.
+
+// Scenario describes one registered experiment scenario.
+type Scenario = scenario.Spec
+
+// ScenarioOption configures a scenario run.
+type ScenarioOption = scenario.Option
+
+// ScenarioOptionDoc documents one scenario-specific raw option.
+type ScenarioOptionDoc = scenario.OptionDoc
+
+// ScenarioConfig is the uniform configuration a scenario's Run reads.
+type ScenarioConfig = scenario.Config
+
+// ScenarioResult is the uniform result contract: flat metrics for
+// sweeping, a table for rendering, and the typed value via Unwrap.
+type ScenarioResult = scenario.Result
+
+// ScenarioCancelError reports a scenario cut short by its context;
+// errors.Is(err, context.Canceled) sees through it.
+type ScenarioCancelError = scenario.CancelError
+
+// Scenario options: the five uniform axes, the raw escape hatch, and
+// the progress callback.
+var (
+	WithSeed     = scenario.WithSeed
+	WithNodes    = scenario.WithNodes
+	WithHorizon  = scenario.WithHorizon
+	WithPolicy   = scenario.WithPolicy
+	WithQPS      = scenario.WithQPS
+	WithOption   = scenario.WithOption
+	WithProgress = scenario.WithProgress
+)
+
+// Scenarios returns every registered scenario in name order: the full
+// paper catalog (fib-day, var-day, fig1-fig3, fig7, table1, ablation,
+// policy-comparison, scientific, endogenous) plus anything the
+// embedding program registered.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioNames lists the registered scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// RunScenario executes a registered scenario by name. Cancellation of
+// ctx returns promptly (checked every simulated epoch) with a
+// *ScenarioCancelError; the partial simulation is discarded.
+func RunScenario(ctx context.Context, name string, opts ...ScenarioOption) (ScenarioResult, error) {
+	return scenario.Run(ctx, name, opts...)
+}
+
+// RegisterScenario adds a custom scenario to the registry, making it
+// runnable from both CLIs, the sweep grid, and RunScenario. See
+// examples/scenario for a worked custom scenario.
+func RegisterScenario(sp Scenario) { scenario.Register(sp) }
+
+// NewScenarioResult bundles a typed value into the Result contract
+// (for custom scenarios).
+func NewScenarioResult(typed any, metrics map[string]float64, table [][]string) ScenarioResult {
+	return scenario.NewResult(typed, metrics, table)
+}
+
+// RenderScenario prints a scenario result for humans: the typed
+// value's paper-shaped rendering when it has one, the generic aligned
+// table otherwise.
+func RenderScenario(w io.Writer, res ScenarioResult) { scenario.Fprint(w, res) }
+
 // Experiment entry points: each regenerates one table or figure.
+//
+// Deprecated: these bespoke wrappers predate the scenario registry.
+// New code should run experiments through RunScenario / Scenarios
+// (and SweepScenarios for grids); each wrapper below names its
+// scenario. The wrappers stay because their typed configs expose every
+// knob, but they gain no new experiments.
 
 // DayConfig configures a 24-hour production experiment.
 type DayConfig = experiments.DayConfig
@@ -244,26 +326,40 @@ func FibDay(seed int64) DayConfig { return experiments.FibDay(seed) }
 func VarDay(seed int64) DayConfig { return experiments.VarDay(seed) }
 
 // RunDay executes a 24-hour experiment.
+//
+// Deprecated: run the "fib-day" or "var-day" scenario via RunScenario.
 func RunDay(cfg DayConfig) DayResult { return experiments.RunDay(cfg) }
 
 // RunFig1 analyzes a week trace (idle-node and idle-period CDFs).
+//
+// Deprecated: run the "fig1" scenario via RunScenario.
 func RunFig1(tr *Trace) experiments.Fig1Result { return experiments.RunFig1(tr) }
 
 // RunFig2 regenerates the HPC job CDFs.
+//
+// Deprecated: run the "fig2" scenario via RunScenario.
 func RunFig2(seed int64) experiments.Fig2Result { return experiments.RunFig2(seed) }
 
 // RunFig3 regenerates the 5-node motivating schedule.
+//
+// Deprecated: run the "fig3" scenario via RunScenario.
 func RunFig3(seed int64) experiments.Fig3Result { return experiments.RunFig3(seed) }
 
 // RunTableI evaluates the six job-length sets.
+//
+// Deprecated: run the "table1" scenario via RunScenario.
 func RunTableI(tr *Trace) experiments.TableIResult { return experiments.RunTableI(tr) }
 
 // RunFig7 compares the SeBS functions across platforms.
+//
+// Deprecated: run the "fig7" scenario via RunScenario.
 func RunFig7(vertices, degree, invocations int, seed int64) experiments.Fig7Result {
 	return experiments.RunFig7(vertices, degree, invocations, seed)
 }
 
 // RunAblation compares the hand-off design points.
+//
+// Deprecated: run the "ablation" scenario via RunScenario.
 func RunAblation(nodes int, horizon time.Duration, seed int64) experiments.AblationResult {
 	return experiments.RunAblation(nodes, horizon, seed)
 }
@@ -274,6 +370,8 @@ type AblationConfig = experiments.AblationConfig
 
 // RunAblationWith runs the hand-off ablation under an explicit supply
 // policy.
+//
+// Deprecated: run the "ablation" scenario with WithPolicy instead.
 func RunAblationWith(cfg AblationConfig) experiments.AblationResult {
 	return experiments.RunAblationWith(cfg)
 }
@@ -291,6 +389,8 @@ func DefaultPolicyComparisonConfig(seed int64) PolicyComparisonConfig {
 
 // RunPolicyComparison executes the comparison and reports utilization,
 // 503, and hand-off metrics per policy.
+//
+// Deprecated: run the "policy-comparison" scenario via RunScenario.
 func RunPolicyComparison(cfg PolicyComparisonConfig) experiments.PolicyComparisonResult {
 	return experiments.RunPolicyComparison(cfg)
 }
@@ -309,6 +409,8 @@ func DefaultScientificConfig(seed int64) ScientificConfig {
 }
 
 // RunScientific executes the scientific-workload experiment.
+//
+// Deprecated: run the "scientific" scenario via RunScenario.
 func RunScientific(cfg ScientificConfig) experiments.ScientificResult {
 	return experiments.RunScientific(cfg)
 }
@@ -324,6 +426,8 @@ func DefaultEndogenousConfig(seed int64) EndogenousConfig {
 }
 
 // RunEndogenous executes the full-scheduler experiment.
+//
+// Deprecated: run the "endogenous" scenario via RunScenario.
 func RunEndogenous(cfg EndogenousConfig) experiments.EndogenousResult {
 	return experiments.RunEndogenous(cfg)
 }
@@ -359,4 +463,15 @@ func Replicate(cfg SweepConfig, run func(seed int64) map[string]float64) SweepRe
 // fanning all (point, replica) pairs across the worker pool.
 func Sweep(cfg SweepConfig, points []SweepPoint) []SweepResult {
 	return sweep.Sweep(cfg, points)
+}
+
+// ScenarioPoint is one sweep-grid cell over the scenario registry.
+type ScenarioPoint = sweep.ScenarioPoint
+
+// SweepScenarios fans registered scenarios across seeds and option
+// grids by name: any scenario — paper catalog or custom-registered —
+// becomes a multi-replica study with no experiment-specific glue. All
+// cells are validated before anything runs.
+func SweepScenarios(cfg SweepConfig, cells []ScenarioPoint) ([]SweepResult, error) {
+	return sweep.SweepScenarios(cfg, cells)
 }

@@ -1,8 +1,12 @@
 package hpcwhisk
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/experiments"
 )
 
 // These tests exercise the public facade end to end, the way a
@@ -42,7 +46,7 @@ func TestFacadeSweep(t *testing.T) {
 		cfg.Nodes = 128
 		cfg.Horizon = time.Hour
 		cfg.QPS = 0
-		return RunDay(cfg).Metrics()
+		return experiments.RunDay(cfg).Metrics()
 	}
 	results := Sweep(SweepConfig{Replicas: 3, Workers: 2, BaseSeed: 9}, []SweepPoint{
 		{Name: "fib-slice", Run: day},
@@ -163,5 +167,68 @@ func TestFacadeWeekTraceMatchesPaper(t *testing.T) {
 	mean := tr.IdleCount().TimeMean()
 	if mean < 7 || mean > 12 {
 		t.Errorf("week mean idle = %.2f, want ≈9.23", mean)
+	}
+}
+
+// TestFacadeScenarioCatalog pins the acceptance criterion that
+// Scenarios() enumerates every paper experiment.
+func TestFacadeScenarioCatalog(t *testing.T) {
+	want := []string{
+		"fib-day", "var-day", // Tables II/III, Figs. 5/6
+		"fig1", "fig2", "fig3", "fig7", "table1", // the analysis artifacts
+		"ablation", "policy-comparison", "scientific", "endogenous", // beyond-paper
+	}
+	have := map[string]bool{}
+	for _, sp := range Scenarios() {
+		have[sp.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("Scenarios() lacks %q", name)
+		}
+	}
+	names := ScenarioNames()
+	if len(names) != len(Scenarios()) {
+		t.Errorf("ScenarioNames has %d entries, Scenarios %d", len(names), len(Scenarios()))
+	}
+}
+
+// TestFacadeRunScenario runs one scenario end to end through the
+// facade and checks the three views of the Result contract.
+func TestFacadeRunScenario(t *testing.T) {
+	res, err := RunScenario(context.Background(), "fig3", WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics()
+	if m["ready-coverage"] <= 0 || m["ready-coverage"] > 1 {
+		t.Errorf("ready-coverage = %v, want in (0,1]", m["ready-coverage"])
+	}
+	if len(res.Table()) < 2 {
+		t.Errorf("Table() has %d rows", len(res.Table()))
+	}
+	if _, ok := res.Unwrap().(experiments.Fig3Result); !ok {
+		t.Errorf("Unwrap() = %T, want experiments.Fig3Result", res.Unwrap())
+	}
+}
+
+// TestFacadeScenarioCancellation cancels a day mid-run through the
+// facade and checks the typed error surfaces.
+func TestFacadeScenarioCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunScenario(ctx, "fib-day",
+		WithSeed(1), WithNodes(48), WithHorizon(2*time.Hour), WithQPS(0),
+		WithProgress(func(done, total time.Duration) {
+			if done >= 30*time.Minute {
+				cancel()
+			}
+		}))
+	var cut *ScenarioCancelError
+	if !errors.As(err, &cut) {
+		t.Fatalf("err = %v (%T), want *ScenarioCancelError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err does not unwrap to context.Canceled")
 	}
 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/whisk"
+	"repro/internal/workload"
+)
+
+// TestWrapperNoHealthyInvokerNoFallback drives Alg. 1 through a real
+// deployment that never gets an invoker (empty availability trace) and
+// no fallback configured: the controller's 503 must surface to the
+// caller unchanged — once per call, with no retry loop and no
+// fallback accounting.
+func TestWrapperNoHealthyInvokerNoFallback(t *testing.T) {
+	sys := NewSystem(DefaultSystemConfig(4, ModeFib))
+	sys.LoadTrace(&workload.Trace{Nodes: 4, Horizon: time.Hour}) // no idle periods: no pilots, no invokers
+	sys.Ctrl.RegisterAction(&whisk.Action{Name: "f", MemoryMB: 256, Exec: whisk.FixedExec(time.Millisecond)})
+	w := NewWrapper(sys.Sim, sys.Ctrl, nil)
+	sys.Start()
+
+	var got []*whisk.Invocation
+	for i := 0; i < 3; i++ {
+		at := time.Duration(i) * time.Minute
+		sys.Sim.Schedule(at, func() {
+			w.Invoke("f", func(inv *whisk.Invocation) { got = append(got, inv) })
+		})
+	}
+	sys.Run(time.Hour)
+
+	if len(got) != 3 {
+		t.Fatalf("%d completions, want 3", len(got))
+	}
+	for i, inv := range got {
+		if inv.Status != whisk.Status503 {
+			t.Errorf("call %d status %v, want 503 surfaced", i, inv.Status)
+		}
+	}
+	if w.PrimaryCalls != 3 || w.FallbackCalls != 0 || w.Retries != 0 {
+		t.Errorf("counters primary=%d fallback=%d retries=%d, want 3/0/0",
+			w.PrimaryCalls, w.FallbackCalls, w.Retries)
+	}
+}
+
+// statusBackend completes every invocation with a fixed status after a
+// delay.
+type statusBackend struct {
+	sim    *des.Sim
+	status whisk.Status
+	delay  time.Duration
+	calls  int
+}
+
+func (b *statusBackend) Invoke(action string, done func(*whisk.Invocation)) *whisk.Invocation {
+	b.calls++
+	inv := &whisk.Invocation{Submitted: b.sim.Now(), InvokerID: -1}
+	b.sim.After(b.delay, func() {
+		inv.Completed = b.sim.Now()
+		inv.Status = b.status
+		if done != nil {
+			done(inv)
+		}
+	})
+	return inv
+}
+
+// TestWrapperFallbackFailurePropagates pins the failure path of the
+// off-loading branch: when the primary 503s and the *fallback* then
+// fails, the failure reaches the caller as-is — Alg. 1 retries 503s,
+// not fallback errors — and the wrapper neither loops nor re-probes
+// the primary for it.
+func TestWrapperFallbackFailurePropagates(t *testing.T) {
+	for _, status := range []whisk.Status{whisk.StatusFailed, whisk.StatusTimeout} {
+		sim := des.New()
+		primary := &statusBackend{sim: sim, status: whisk.Status503, delay: 10 * time.Millisecond}
+		fb := &statusBackend{sim: sim, status: status, delay: 5 * time.Millisecond}
+		w := NewWrapper(sim, primary, fb)
+
+		var got *whisk.Invocation
+		w.Invoke("f", func(inv *whisk.Invocation) { got = inv })
+		sim.Run()
+
+		if got == nil || got.Status != status {
+			t.Fatalf("status %s: got %+v, want the fallback failure propagated", status, got)
+		}
+		if primary.calls != 1 || fb.calls != 1 {
+			t.Errorf("status %s: primary=%d fallback=%d calls, want 1/1 (no retry of a fallback failure)",
+				status, primary.calls, fb.calls)
+		}
+		if w.Retries != 1 {
+			t.Errorf("status %s: retries=%d, want 1 (the 503 retry only)", status, w.Retries)
+		}
+
+		// Within the cooldown a second call must go straight to the
+		// (still failing) fallback and surface that failure too.
+		w.Invoke("f", func(inv *whisk.Invocation) { got = inv })
+		sim.Run()
+		if got == nil || got.Status != status {
+			t.Fatalf("status %s: cooldown call got %+v, want fallback failure", status, got)
+		}
+		if primary.calls != 1 || fb.calls != 2 {
+			t.Errorf("status %s: after cooldown call primary=%d fallback=%d, want 1/2",
+				status, primary.calls, fb.calls)
+		}
+	}
+}

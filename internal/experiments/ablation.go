@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -67,8 +68,19 @@ func RunAblation(nodes int, horizon time.Duration, seed int64) AblationResult {
 
 // RunAblationWith is RunAblation under an explicit supply policy.
 func RunAblationWith(a AblationConfig) AblationResult {
+	res, _ := RunAblationCtx(context.Background(), a, nil) // never canceled
+	return res
+}
+
+// RunAblationCtx is RunAblationWith with cooperative cancellation and
+// progress across the variants: done/total span all variant days, so a
+// progress bar moves monotonically through the whole ablation.
+func RunAblationCtx(ctx context.Context, a AblationConfig, progress ProgressFunc) (AblationResult, error) {
 	res := AblationResult{Horizon: a.Horizon, Policy: a.Policy}
-	for _, v := range AblationVariants() {
+	variants := AblationVariants()
+	perDay := a.Horizon + dayDrain
+	total := time.Duration(len(variants)) * perDay
+	for i, v := range variants {
 		cfg := FibDay(a.Seed)
 		cfg.Policy = a.Policy
 		cfg.Nodes = a.Nodes
@@ -80,7 +92,10 @@ func RunAblationWith(a AblationConfig) AblationResult {
 		cfg.SleepExec = 500 * time.Millisecond // long enough to sit in queues
 		cfg.GracefulHandoff = v.GracefulHandoff
 		cfg.InterruptRunning = v.InterruptRunning
-		day := RunDay(cfg)
+		day, err := RunDayCtx(ctx, cfg, offsetProgress(progress, time.Duration(i)*perDay, total))
+		if err != nil {
+			return res, err
+		}
 		res.Rows = append(res.Rows, AblationRow{
 			Variant:   v,
 			Load:      day.Load,
@@ -89,7 +104,7 @@ func RunAblationWith(a AblationConfig) AblationResult {
 			Preempted: day.Preempted,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the comparison.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -202,8 +203,35 @@ func (cfg DayConfig) TraceConfig() workload.IdleProcessConfig {
 	return wl
 }
 
+// ProgressFunc observes an experiment's advance through virtual time.
+// done counts from 0 to total; implementations must be cheap (they run
+// once per simulated epoch) and must not touch the simulation.
+type ProgressFunc = func(done, total time.Duration)
+
+// offsetProgress shifts a ProgressFunc so multi-phase experiments
+// (run + drain, or several sequential runs) report one monotone range.
+func offsetProgress(p ProgressFunc, off, total time.Duration) ProgressFunc {
+	if p == nil {
+		return nil
+	}
+	return func(done, _ time.Duration) { p(off+done, total) }
+}
+
+// dayDrain is the post-horizon window RunDay gives in-flight work.
+const dayDrain = 5 * time.Minute
+
 // RunDay executes one full 24-hour experiment.
 func RunDay(cfg DayConfig) DayResult {
+	res, _ := RunDayCtx(context.Background(), cfg, nil) // never canceled
+	return res
+}
+
+// RunDayCtx is RunDay with cooperative cancellation and progress: the
+// simulation advances in core.DefaultEpoch chunks of virtual time,
+// checking ctx between chunks. A run that completes is bit-identical
+// to RunDay. On cancellation the partial simulation is abandoned and
+// only the error returns.
+func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayResult, error) {
 	tr := cfg.TraceConfig().Generate()
 
 	sys := core.NewSystem(systemConfig(cfg))
@@ -226,9 +254,14 @@ func RunDay(cfg DayConfig) DayResult {
 	}
 
 	sys.Start()
-	sys.Run(cfg.Horizon)
+	total := cfg.Horizon + dayDrain
+	if err := sys.RunCtx(ctx, cfg.Horizon, 0, offsetProgress(progress, 0, total)); err != nil {
+		return DayResult{}, err
+	}
 	// Let in-flight work drain past the horizon.
-	sys.Run(5 * time.Minute)
+	if err := sys.RunCtx(ctx, dayDrain, 0, offsetProgress(progress, cfg.Horizon, total)); err != nil {
+		return DayResult{}, err
+	}
 
 	set := coverage.Set{Name: "A1", Lengths: core.SetA1}
 	if cfg.PolicyName() == "var" {
@@ -252,7 +285,7 @@ func RunDay(cfg DayConfig) DayResult {
 	res.SimReadyPerMinute = res.Sim.Ready.Buckets(time.Minute)
 	res.HealthyPerMinute = sys.Manager.States.Healthy.Buckets(time.Minute)
 	res.SlurmPerMinute = slurmPerMinute(sys.Logger.Entries, cfg.Horizon)
-	return res
+	return res, nil
 }
 
 // slurmPerMinute downsamples the poller's pilot counts into per-minute

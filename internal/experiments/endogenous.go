@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -76,6 +77,13 @@ type EndogenousResult struct {
 
 // RunEndogenous executes the experiment.
 func RunEndogenous(cfg EndogenousConfig) EndogenousResult {
+	res, _ := RunEndogenousCtx(context.Background(), cfg, nil) // never canceled
+	return res
+}
+
+// RunEndogenousCtx is RunEndogenous with cooperative cancellation and
+// progress.
+func RunEndogenousCtx(ctx context.Context, cfg EndogenousConfig, progress ProgressFunc) (EndogenousResult, error) {
 	sysCfg := core.DefaultSystemConfig(cfg.Nodes, cfg.Mode)
 	sysCfg.Seed = cfg.Seed + 10
 	sys := core.NewSystem(sysCfg)
@@ -133,7 +141,9 @@ func RunEndogenous(cfg EndogenousConfig) EndogenousResult {
 	}
 
 	sys.Start()
-	sys.Run(cfg.Horizon)
+	if err := sys.RunCtx(ctx, cfg.Horizon, 0, progress); err != nil {
+		return EndogenousResult{}, err
+	}
 	busyTW.Finish(cfg.Horizon)
 	idleTW.Finish(cfg.Horizon)
 	pilotTW.Finish(cfg.Horizon)
@@ -156,7 +166,7 @@ func RunEndogenous(cfg EndogenousConfig) EndogenousResult {
 		res.MeanWait = time.Duration(waits.Mean() * float64(time.Second))
 		res.P95Wait = time.Duration(waits.Quantile(0.95) * float64(time.Second))
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the summary.

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -47,6 +48,16 @@ type Fig1Result struct {
 	PeakIdleNodes    float64
 	TotalIdleSurface time.Duration
 	Periods          int
+}
+
+// RunFig1Ctx is RunFig1 behind a cancellation check: the analysis is a
+// single in-memory pass, so ctx is consulted once up front (callers
+// generate the trace — the heavy part — under their own ctx checks).
+func RunFig1Ctx(ctx context.Context, tr *workload.Trace) (Fig1Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Fig1Result{}, err
+	}
+	return RunFig1(tr), nil
 }
 
 // RunFig1 analyzes a week trace the way §I analyzed the production logs.

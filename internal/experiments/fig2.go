@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -26,9 +27,23 @@ type Fig2Result struct {
 	Jobs          int
 }
 
+// RunFig2Ctx is RunFig2 with a cancellation check before the job-stream
+// generation, and an optional job-count override (0 keeps Fig2Jobs).
+func RunFig2Ctx(ctx context.Context, seed int64, jobs int) (Fig2Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Fig2Result{}, err
+	}
+	if jobs <= 0 {
+		jobs = Fig2Jobs
+	}
+	return runFig2(seed, jobs), nil
+}
+
 // RunFig2 generates the calibrated job stream and reduces its CDFs.
-func RunFig2(seed int64) Fig2Result {
-	jobs := workload.DefaultJobGen(Fig2Jobs, Week, seed).Generate()
+func RunFig2(seed int64) Fig2Result { return runFig2(seed, Fig2Jobs) }
+
+func runFig2(seed int64, n int) Fig2Result {
+	jobs := workload.DefaultJobGen(n, Week, seed).Generate()
 	limits, runtimes, slacks := workload.JobCDFs(jobs)
 
 	probes := []float64{1, 5, 10, 15, 30, 60, 120, 180, 360, 720, 1440, 2880, 4320}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -36,6 +37,12 @@ type Fig3Result struct {
 // RunFig3 builds the example: job1 3×5min, job2 1×13min, job3 2×7min,
 // job4 4×8min, with pilot lengths 2/4/6/10 minutes as in the figure.
 func RunFig3(seed int64) Fig3Result {
+	res, _ := RunFig3Ctx(context.Background(), seed, nil) // never canceled
+	return res
+}
+
+// RunFig3Ctx is RunFig3 with cooperative cancellation and progress.
+func RunFig3Ctx(ctx context.Context, seed int64, progress ProgressFunc) (Fig3Result, error) {
 	scfg := core.DefaultSystemConfig(5, core.ModeFib)
 	scfg.Seed = seed
 	scfg.Slurm.SchedInterval = 5 * time.Second
@@ -111,10 +118,12 @@ func RunFig3(seed int64) Fig3Result {
 	submit("job4", 4, 8)
 
 	sys.Start()
-	sys.Run(40 * time.Minute)
+	if err := sys.RunCtx(ctx, 40*time.Minute, 0, progress); err != nil {
+		return Fig3Result{}, err
+	}
 
 	res.JobStarts = starts
-	return res
+	return res, nil
 }
 
 // Render prints the example in the paper's terms.

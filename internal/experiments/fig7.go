@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -27,6 +28,16 @@ type Fig7Result struct {
 	Rows        []Fig7Row
 	Invocations int
 	MemoryMB    int
+}
+
+// RunFig7Ctx is RunFig7 behind a cancellation check (the kernels run
+// real wall-clock work, but a whole benchmark completes in tens of
+// milliseconds, so one up-front check suffices).
+func RunFig7Ctx(ctx context.Context, graphN, graphDeg, invocations int, seed int64) (Fig7Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Fig7Result{}, err
+	}
+	return RunFig7(graphN, graphDeg, invocations, seed), nil
 }
 
 // RunFig7 executes the real bfs/mst/pagerank kernels `invocations`

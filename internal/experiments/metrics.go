@@ -1,5 +1,7 @@
 package experiments
 
+import "time"
+
 // Metrics methods flatten each experiment's result into the named-scalar
 // form the sweep engine aggregates across replicas. Names are stable:
 // they key the JSON/CSV output of cmd/hpcwhisk-sweep and the summaries
@@ -58,6 +60,66 @@ func (r AblationResult) Metrics() map[string]float64 {
 	m := map[string]float64{}
 	for _, row := range r.Rows {
 		m[row.Variant.Name+"-lost-share"] = row.LostShare
+	}
+	return m
+}
+
+// Metrics returns the §I idle-surface headline numbers of Fig. 1.
+func (r Fig1Result) Metrics() map[string]float64 {
+	return map[string]float64{
+		"mean-idle-nodes":     r.MeanIdle,
+		"median-idle-nodes":   r.MedianIdle,
+		"p99-idle-nodes":      r.P99Idle,
+		"median-period-min":   r.MedianPeriod.Minutes(),
+		"mean-period-min":     r.MeanPeriod.Minutes(),
+		"tail-over-23min":     r.TailOver23m,
+		"zero-idle-share":     r.ZeroIdleShare,
+		"longest-zero-idle-h": r.LongestZeroIdle.Hours(),
+		"idle-surface-node-h": r.TotalIdleSurface.Hours(),
+		"idle-periods":        float64(r.Periods),
+	}
+}
+
+// Metrics returns the Fig. 2 job-stream headline numbers.
+func (r Fig2Result) Metrics() map[string]float64 {
+	return map[string]float64{
+		"median-limit-min":   r.MedianLimit.Minutes(),
+		"p5-limit-min":       r.P5Limit.Minutes(),
+		"median-runtime-min": r.MedianRuntime.Minutes(),
+		"median-slack-min":   r.MedianSlack.Minutes(),
+		"jobs":               float64(r.Jobs),
+	}
+}
+
+// Metrics returns the Fig. 3 motivating-example headline numbers.
+func (r Fig3Result) Metrics() map[string]float64 {
+	return map[string]float64{
+		"makespan-min":   r.Makespan.Minutes(),
+		"avg-idle-nodes": r.AvgIdleNodes,
+		"ready-coverage": r.ReadyCoverage,
+		"gap-coverage":   r.GapCoverage,
+		"pilots-started": float64(r.PilotsStarted),
+	}
+}
+
+// Metrics returns one ready-share metric per Table I length set plus
+// the winning share.
+func (r TableIResult) Metrics() map[string]float64 {
+	m := map[string]float64{"best-ready-share": r.Best.ShareReady}
+	for _, row := range r.Rows {
+		m[row.Set.Name+"-ready-share"] = row.ShareReady
+		m[row.Set.Name+"-warmup-share"] = row.ShareWarmup
+	}
+	return m
+}
+
+// Metrics returns per-function medians and speedups of Fig. 7.
+func (r Fig7Result) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		m[row.Function+"-prometheus-ms"] = float64(row.PrometheusMedian) / float64(time.Millisecond)
+		m[row.Function+"-lambda-ms"] = float64(row.LambdaMedian) / float64(time.Millisecond)
+		m[row.Function+"-speedup"] = row.Speedup
 	}
 	return m
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -68,12 +69,21 @@ type PolicyComparisonResult struct {
 
 // RunPolicyComparison executes the shared day once per policy.
 func RunPolicyComparison(cfg PolicyComparisonConfig) PolicyComparisonResult {
+	res, _ := RunPolicyComparisonCtx(context.Background(), cfg, nil) // never canceled
+	return res
+}
+
+// RunPolicyComparisonCtx is RunPolicyComparison with cooperative
+// cancellation and whole-comparison progress.
+func RunPolicyComparisonCtx(ctx context.Context, cfg PolicyComparisonConfig, progress ProgressFunc) (PolicyComparisonResult, error) {
 	names := cfg.Policies
 	if len(names) == 0 {
 		names = policy.Names()
 	}
 	res := PolicyComparisonResult{Config: cfg}
-	for _, name := range names {
+	perDay := cfg.Horizon + dayDrain
+	total := time.Duration(len(names)) * perDay
+	for i, name := range names {
 		day := FibDay(cfg.Seed) // shared calibration; the policy replaces the supply model
 		day.Policy = name
 		day.Nodes = cfg.Nodes
@@ -81,7 +91,10 @@ func RunPolicyComparison(cfg PolicyComparisonConfig) PolicyComparisonResult {
 		day.QPS = cfg.QPS
 		day.MeanIdleNodes = cfg.MeanIdleNodes
 		day.SaturatedFraction = cfg.SaturatedFraction
-		r := RunDay(day)
+		r, err := RunDayCtx(ctx, day, offsetProgress(progress, time.Duration(i)*perDay, total))
+		if err != nil {
+			return res, err
+		}
 		share503, lost := 0.0, 0.0
 		if cfg.QPS > 0 { // with no load there is nothing to reject
 			share503, lost = 1-r.Load.InvokedShare, r.Load.LostShare
@@ -98,7 +111,7 @@ func RunPolicyComparison(cfg PolicyComparisonConfig) PolicyComparisonResult {
 			Preempted:     r.Preempted,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Metrics flattens the comparison for the sweep engine: one metric per

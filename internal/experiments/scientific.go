@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -81,6 +82,13 @@ type ScientificResult struct {
 
 // RunScientific executes the experiment.
 func RunScientific(cfg ScientificConfig) ScientificResult {
+	res, _ := RunScientificCtx(context.Background(), cfg, nil) // never canceled
+	return res
+}
+
+// RunScientificCtx is RunScientific with cooperative cancellation and
+// progress.
+func RunScientificCtx(ctx context.Context, cfg ScientificConfig, progress ProgressFunc) (ScientificResult, error) {
 	day := FibDay(cfg.Seed)
 	day.Mode = cfg.Mode
 	wl := faasload.DefaultSpec(cfg.Functions, cfg.Seed+1).Build()
@@ -140,8 +148,14 @@ func RunScientific(cfg ScientificConfig) ScientificResult {
 	})
 	gen.Start()
 	sys.Start()
-	sys.Run(cfg.Horizon)
-	sys.Run(12 * time.Minute) // drain long functions
+	const drain = 12 * time.Minute // long functions need a long tail
+	total := cfg.Horizon + drain
+	if err := sys.RunCtx(ctx, cfg.Horizon, 0, offsetProgress(progress, 0, total)); err != nil {
+		return ScientificResult{}, err
+	}
+	if err := sys.RunCtx(ctx, drain, 0, offsetProgress(progress, cfg.Horizon, total)); err != nil {
+		return ScientificResult{}, err
+	}
 
 	res := ScientificResult{
 		Config:        cfg,
@@ -154,12 +168,11 @@ func RunScientific(cfg ScientificConfig) ScientificResult {
 		res.ByClass[class] = a.stats()
 	}
 	if w, ok := backend.(*core.Wrapper); ok {
-		total := w.PrimaryCalls + w.FallbackCalls
-		if total > 0 {
-			res.FallbackShare = float64(w.FallbackCalls) / float64(total)
+		if calls := w.PrimaryCalls + w.FallbackCalls; calls > 0 {
+			res.FallbackShare = float64(w.FallbackCalls) / float64(calls)
 		}
 	}
-	return res
+	return res, nil
 }
 
 type classAcc struct {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,8 +18,22 @@ type TableIResult struct {
 // RunTableI evaluates the six job-length sets against a week trace
 // using the clairvoyant packing simulator of §IV-B.
 func RunTableI(tr *workload.Trace) TableIResult {
-	rows := coverage.SimulateAll(tr, coverage.DefaultConfig())
-	return TableIResult{Rows: rows, Best: coverage.Best(rows)}
+	res, _ := RunTableICtx(context.Background(), tr) // never canceled
+	return res
+}
+
+// RunTableICtx is RunTableI with cooperative cancellation checked
+// between the per-set packing simulations (each is one full-trace
+// clairvoyant pass, the natural epoch of this experiment).
+func RunTableICtx(ctx context.Context, tr *workload.Trace) (TableIResult, error) {
+	var rows []coverage.Result
+	for _, set := range coverage.TableISets() {
+		if err := ctx.Err(); err != nil {
+			return TableIResult{Rows: rows}, err
+		}
+		rows = append(rows, coverage.Simulate(tr, set, coverage.DefaultConfig()))
+	}
+	return TableIResult{Rows: rows, Best: coverage.Best(rows)}, nil
 }
 
 // Render prints the table in the paper's column layout.

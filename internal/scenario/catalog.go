@@ -1,0 +1,365 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// The catalog: every table and figure of the paper's evaluation plus
+// the beyond-paper experiments, registered as uniform scenarios. Each
+// Run builds its experiment config from the paper defaults, overlays
+// the uniform axes and raw options the caller set, and executes the
+// ctx-aware experiment entry point.
+
+func init() {
+	Register(dayScenario("fib-day", "Table II / Fig. 5",
+		"the fib production day: fixed-length pilot bags on the March 17th calibration",
+		experiments.FibDay, "fib"))
+	Register(dayScenario("var-day", "Table III / Fig. 6",
+		"the var production day: flexible pilots on the March 21st calibration",
+		experiments.VarDay, "var"))
+
+	Register(Spec{
+		Name:        "fig1",
+		Artifact:    "Fig. 1",
+		Description: "idle-node and idle-period distributions of a calibrated production week",
+		Axes:        []string{"nodes", "horizon"},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tr := workload.DefaultIdleProcess(
+				cfg.Nodes(experiments.PrometheusNodes),
+				cfg.Horizon(experiments.Week),
+				cfg.Seed()).Generate()
+			r, err := experiments.RunFig1Ctx(ctx, tr)
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), nil), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "fig2",
+		Artifact:    "Fig. 2",
+		Description: "declared-walltime, runtime and slack CDFs of the calibrated HPC job stream",
+		Axes:        []string{},
+		Options: []OptionDoc{
+			{Name: "jobs", Kind: KindInt, Default: strconv.Itoa(experiments.Fig2Jobs),
+				Help: "number of jobs to generate (the monitored week had 74k)"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			jobs := cfg.Int("jobs", experiments.Fig2Jobs)
+			if jobs <= 0 {
+				return nil, fmt.Errorf("scenario: fig2 needs a positive jobs count, got %d", jobs)
+			}
+			r, err := experiments.RunFig2Ctx(ctx, cfg.Seed(), jobs)
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), nil), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "fig3",
+		Artifact:    "Fig. 3",
+		Description: "the motivating 5-node schedule: four HPC jobs with pilots filling the gaps",
+		Axes:        []string{},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			r, err := experiments.RunFig3Ctx(ctx, cfg.Seed(), cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), nil), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "table1",
+		Artifact:    "Table I",
+		Description: "clairvoyant coverage of the six pilot job-length sets over a week trace",
+		Axes:        []string{"nodes", "horizon"},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tr := workload.DefaultIdleProcess(
+				cfg.Nodes(experiments.PrometheusNodes),
+				cfg.Horizon(experiments.Week),
+				cfg.Seed()).Generate()
+			r, err := experiments.RunTableICtx(ctx, tr)
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), tableITable(r)), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "fig7",
+		Artifact:    "Fig. 7",
+		Description: "SeBS bfs/mst/pagerank kernels on a Prometheus node vs the Lambda baseline",
+		Axes:        []string{},
+		Options: []OptionDoc{
+			{Name: "vertices", Kind: KindInt, Default: "20000", Help: "graph size of the SeBS input"},
+			{Name: "degree", Kind: KindInt, Default: "8", Help: "average degree of the generated graph"},
+			{Name: "invocations", Kind: KindInt, Default: "30", Help: "warm invocations per function"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			r, err := experiments.RunFig7Ctx(ctx,
+				cfg.Int("vertices", 20000), cfg.Int("degree", 8),
+				cfg.Int("invocations", 30), cfg.Seed())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), fig7Table(r)), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "ablation",
+		Artifact:    "§III-C ablation",
+		Description: "hand-off design points (full protocol / no interrupt / hard kill) on one day",
+		Axes:        []string{"nodes", "horizon", "policy"},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			a := experiments.AblationConfig{
+				Nodes:   cfg.Nodes(256),
+				Horizon: cfg.Horizon(4 * time.Hour),
+				Seed:    cfg.Seed(),
+				Policy:  cfg.Policy(""),
+			}
+			r, err := experiments.RunAblationCtx(ctx, a, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), ablationTable(r)), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "policy-comparison",
+		Artifact:    "beyond the paper",
+		Description: "every registered supply policy on one shared calibrated day",
+		Axes:        []string{"nodes", "horizon", "qps"},
+		Options: []OptionDoc{
+			{Name: "policies", Kind: KindString, Default: "", Help: "comma-separated policy names (empty: all registered)"},
+			{Name: "mean-idle-nodes", Kind: KindFloat, Default: "10", Help: "trace calibration: mean idle nodes"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			pc := experiments.DefaultPolicyComparisonConfig(cfg.Seed())
+			pc.Nodes = cfg.Nodes(pc.Nodes)
+			pc.Horizon = cfg.Horizon(pc.Horizon)
+			pc.QPS = cfg.QPS(pc.QPS)
+			pc.MeanIdleNodes = cfg.Float("mean-idle-nodes", pc.MeanIdleNodes)
+			if names := cfg.String("policies", ""); names != "" {
+				pc.Policies = splitList(names)
+				// The day engine resolves these with MustNew, so an
+				// unknown name must fail here, not panic mid-run.
+				for _, name := range pc.Policies {
+					if _, err := policy.New(name); err != nil {
+						return nil, err
+					}
+				}
+			}
+			r, err := experiments.RunPolicyComparisonCtx(ctx, pc, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), policyCmpTable(r)), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "scientific",
+		Artifact:    "§VII future work",
+		Description: "heterogeneous scientific FaaS workload with the Alg. 1 commercial fallback",
+		Axes:        []string{"nodes", "horizon", "qps", "policy"},
+		Options: []OptionDoc{
+			{Name: "functions", Kind: KindInt, Default: "200", Help: "size of the heterogeneous function population"},
+			{Name: "use-wrapper", Kind: KindBool, Default: "true", Help: "route calls through the Alg. 1 fallback"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			sc := experiments.DefaultScientificConfig(cfg.Seed())
+			sc.Nodes = cfg.Nodes(sc.Nodes)
+			sc.Horizon = cfg.Horizon(sc.Horizon)
+			sc.QPS = cfg.QPS(sc.QPS)
+			sc.Functions = cfg.Int("functions", sc.Functions)
+			sc.UseWrapper = cfg.Bool("use-wrapper", sc.UseWrapper)
+			mode, err := paperMode(cfg.Policy(sc.Mode.String()))
+			if err != nil {
+				return nil, err
+			}
+			sc.Mode = mode
+			r, err := experiments.RunScientificCtx(ctx, sc, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), nil), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "endogenous",
+		Artifact:    "beyond the paper",
+		Description: "full-scheduler run: pilots harvest the idleness emerging from a real prime-job stream",
+		Axes:        []string{"nodes", "horizon", "policy"},
+		Options: []OptionDoc{
+			{Name: "utilization", Kind: KindFloat, Default: "0.94", Help: "target prime-load share of the cluster"},
+			{Name: "max-walltime", Kind: KindDuration, Default: "4h", Help: "clamp on the Fig. 2 job walltimes"},
+			{Name: "max-job-nodes", Kind: KindInt, Default: "32", Help: "clamp on the Fig. 2 job widths"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			ec := experiments.DefaultEndogenousConfig(cfg.Seed())
+			ec.Nodes = cfg.Nodes(ec.Nodes)
+			ec.Horizon = cfg.Horizon(ec.Horizon)
+			ec.Utilization = cfg.Float("utilization", ec.Utilization)
+			ec.MaxWalltime = cfg.Duration("max-walltime", ec.MaxWalltime)
+			ec.MaxJobNodes = cfg.Int("max-job-nodes", ec.MaxJobNodes)
+			mode, err := paperMode(cfg.Policy(ec.Mode.String()))
+			if err != nil {
+				return nil, err
+			}
+			ec.Mode = mode
+			r, err := experiments.RunEndogenousCtx(ctx, ec, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), nil), nil
+		},
+	})
+}
+
+// dayScenario builds the Table II/III production-day Spec shared by
+// fib-day and var-day.
+func dayScenario(name, artifact, desc string, base func(int64) experiments.DayConfig, defPolicy string) Spec {
+	return Spec{
+		Name:        name,
+		Artifact:    artifact,
+		Description: desc,
+		Axes:        []string{"nodes", "horizon", "policy", "qps"},
+		Options: []OptionDoc{
+			{Name: "actions", Kind: KindInt, Default: "100", Help: "number of sleep functions under load"},
+			{Name: "sleep-exec", Kind: KindDuration, Default: "10ms", Help: "in-container execution time per call"},
+			{Name: "graceful-handoff", Kind: KindBool, Default: "true", Help: "enable the §III-C hand-off protocol"},
+			{Name: "interrupt-running", Kind: KindBool, Default: "true", Help: "interrupt mid-execution activations on reclaim"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			day := base(cfg.Seed())
+			day.Policy = cfg.Policy(defPolicy)
+			day.Nodes = cfg.Nodes(day.Nodes)
+			day.Horizon = cfg.Horizon(day.Horizon)
+			day.QPS = cfg.QPS(day.QPS)
+			day.NumActions = cfg.Int("actions", day.NumActions)
+			day.SleepExec = cfg.Duration("sleep-exec", day.SleepExec)
+			day.GracefulHandoff = cfg.Bool("graceful-handoff", day.GracefulHandoff)
+			day.InterruptRunning = cfg.Bool("interrupt-running", day.InterruptRunning)
+			r, err := experiments.RunDayCtx(ctx, day, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), dayTable(r)), nil
+		},
+	}
+}
+
+// paperMode maps the paper's two policy names onto the core.Mode knob
+// still used by the scenarios whose config predates the policy layer.
+func paperMode(name string) (core.Mode, error) {
+	switch name {
+	case "fib":
+		return core.ModeFib, nil
+	case "var":
+		return core.ModeVar, nil
+	}
+	return 0, fmt.Errorf("scenario: this scenario supports only the paper policies fib and var, not %q", name)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Table builders for the results that have a paper table shape.
+
+func f2(x float64) string { return strconv.FormatFloat(x, 'f', 2, 64) }
+func pct(x float64) string {
+	return strconv.FormatFloat(100*x, 'f', 2, 64) + "%"
+}
+
+func dayTable(r experiments.DayResult) [][]string {
+	s := r.SlurmLevel
+	o := r.OW
+	rows := [][]string{
+		{"perspective", "p25", "p50", "p75", "avg", "used", "not-used"},
+		{"simulation-ready", f2(r.Sim.ReadyP25), f2(r.Sim.ReadyP50), f2(r.Sim.ReadyP75),
+			f2(r.Sim.ReadyAvg), pct(r.Sim.ShareReady), pct(r.Sim.ShareNotUsed)},
+		{"slurm-level", f2(s.WorkerP25), f2(s.WorkerP50), f2(s.WorkerP75),
+			f2(s.WorkerAvg), pct(s.ShareUsed), pct(s.ShareNotUsed)},
+		{"ow-healthy", f2(o.HealthyP25), f2(o.HealthyP50), f2(o.HealthyP75),
+			f2(o.HealthyAvg), "", ""},
+	}
+	return rows
+}
+
+func tableITable(r experiments.TableIResult) [][]string {
+	rows := [][]string{{"set", "jobs", "warmup", "ready", "not-used", "avg-ready"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Set.Name, strconv.Itoa(row.Jobs),
+			pct(row.ShareWarmup), pct(row.ShareReady), pct(row.ShareNotUsed),
+			f2(row.ReadyAvg),
+		})
+	}
+	return rows
+}
+
+func fig7Table(r experiments.Fig7Result) [][]string {
+	rows := [][]string{{"function", "prometheus", "lambda", "lambda/prometheus"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Function,
+			row.PrometheusMedian.Round(time.Microsecond).String(),
+			row.LambdaMedian.Round(time.Microsecond).String(),
+			strconv.FormatFloat(row.Speedup, 'f', 3, 64),
+		})
+	}
+	return rows
+}
+
+func ablationTable(r experiments.AblationResult) [][]string {
+	rows := [][]string{{"variant", "lost", "success", "handoffs", "preempted"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Variant.Name, pct(row.LostShare), pct(row.Load.SuccessShare),
+			strconv.Itoa(row.Handoffs), strconv.Itoa(row.Preempted),
+		})
+	}
+	return rows
+}
+
+func policyCmpTable(r experiments.PolicyComparisonResult) [][]string {
+	rows := [][]string{{"policy", "coverage", "healthy-avg", "503", "lost", "handoffs", "pilots"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy, pct(row.Coverage), f2(row.HealthyAvg),
+			pct(row.Share503), pct(row.LostShare),
+			strconv.Itoa(row.Handoffs), strconv.Itoa(row.PilotsStarted),
+		})
+	}
+	return rows
+}

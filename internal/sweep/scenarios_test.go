@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestSweepScenariosValidatesUpfront: a bad cell fails the whole call
+// before any replica runs.
+func TestSweepScenariosValidatesUpfront(t *testing.T) {
+	cfg := Config{Replicas: 2, BaseSeed: 1}
+	cases := []struct {
+		name    string
+		cells   []ScenarioPoint
+		wantErr string
+	}{
+		{"unknown scenario", []ScenarioPoint{{Scenario: "bogus"}}, "unknown scenario"},
+		{"unknown option", []ScenarioPoint{{Scenario: "fig2", Options: []scenario.Option{scenario.WithOption("jobz", "1")}}}, "no option"},
+		{"bad value", []ScenarioPoint{{Scenario: "fig2", Options: []scenario.Option{scenario.WithOption("jobs", "many")}}}, "does not parse"},
+	}
+	for _, tc := range cases {
+		if res, err := SweepScenarios(cfg, tc.cells); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		} else if res != nil {
+			t.Errorf("%s: validation failure still returned results", tc.name)
+		}
+	}
+}
+
+// TestSweepScenariosSurfacesRuntimeErrors: a cell that passes upfront
+// validation but fails in every replica (scientific accepts only the
+// paper's fib/var policies; "adaptive" is a valid registry name) must
+// come back as a joined error naming the cell and seeds — not as a
+// silently empty result.
+func TestSweepScenariosSurfacesRuntimeErrors(t *testing.T) {
+	cfg := Config{Replicas: 2, BaseSeed: 1}
+	res, err := SweepScenarios(cfg, []ScenarioPoint{
+		{Scenario: "scientific", Options: []scenario.Option{scenario.WithPolicy("adaptive")}},
+	})
+	if err == nil {
+		t.Fatal("all replicas failed yet SweepScenarios returned no error")
+	}
+	if !strings.Contains(err.Error(), "scientific") || !strings.Contains(err.Error(), "only the paper policies") {
+		t.Errorf("error %q does not name the cell and cause", err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("partial results missing: %+v", res)
+	}
+	if len(res[0].Metrics) != 0 {
+		t.Errorf("failed cell reports metrics: %v", res[0].Metrics)
+	}
+}
+
+// TestSweepSurvivesNilFirstReplica: a cell whose *first* replica
+// failed (nil metrics) must still aggregate the successful replicas —
+// metric names may not hinge on replica 0.
+func TestSweepSurvivesNilFirstReplica(t *testing.T) {
+	calls := 0
+	res := Sweep(Config{Replicas: 3, Workers: 1, BaseSeed: 1}, []Point{{
+		Name: "flaky-first",
+		Run: func(seed int64) Metrics {
+			calls++
+			if calls == 1 {
+				return nil // replica 0 fails
+			}
+			return Metrics{"x": float64(calls)}
+		},
+	}})
+	s := res[0].Metrics["x"]
+	if s.N != 2 {
+		t.Fatalf("metric x aggregated over %d replicas, want the 2 successes (values %v)",
+			s.N, res[0].Values["x"])
+	}
+}
+
+// TestSweepScenariosAggregates runs a real (fast) catalog scenario
+// across replicas and checks naming, per-replica seeding and the
+// worker-count invariance the engine guarantees.
+func TestSweepScenariosAggregates(t *testing.T) {
+	run := func(workers int) []Result {
+		cfg := Config{Replicas: 3, Workers: workers, BaseSeed: 9}
+		res, err := SweepScenarios(cfg, []ScenarioPoint{
+			{Scenario: "fig2", Options: []scenario.Option{scenario.WithOption("jobs", "2000")}},
+			{Name: "tiny", Scenario: "fig2", Options: []scenario.Option{scenario.WithOption("jobs", "500")}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(1)
+	if len(res) != 2 || res[0].Name != "fig2" || res[1].Name != "tiny" {
+		t.Fatalf("cells misnamed: %+v", res)
+	}
+	for _, r := range res {
+		if r.Replicas != 3 {
+			t.Errorf("%s: %d replicas, want 3", r.Name, r.Replicas)
+		}
+		if s := r.Metrics["median-limit-min"]; s.N != 3 {
+			t.Errorf("%s: metric aggregated over %d replicas, want 3", r.Name, s.N)
+		}
+	}
+	// The jobs option reached the runs: the jobs metric echoes it.
+	if got := res[0].Metrics["jobs"].Mean; got != 2000 {
+		t.Errorf("first cell ran %v jobs, want 2000", got)
+	}
+	if got := res[1].Metrics["jobs"].Mean; got != 500 {
+		t.Errorf("second cell ran %v jobs, want 500", got)
+	}
+	// Replicas actually decorrelate: three seeds, three runs (medians
+	// of 2000-job samples differ across seeds with probability ~1).
+	if vals := res[0].Values["median-runtime-min"]; len(vals) == 3 &&
+		vals[0] == vals[1] && vals[1] == vals[2] {
+		t.Errorf("replica values identical — per-replica seeds not applied: %v", vals)
+	}
+
+	// Worker count never changes the numbers.
+	res4 := run(4)
+	for i := range res {
+		for name, vals := range res[i].Values {
+			got := res4[i].Values[name]
+			for j := range vals {
+				if vals[j] != got[j] {
+					t.Fatalf("%s/%s replica %d: 1-worker %v vs 4-worker %v",
+						res[i].Name, name, j, vals[j], got[j])
+				}
+			}
+		}
+	}
+}

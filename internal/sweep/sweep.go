@@ -137,8 +137,11 @@ func Sweep(cfg Config, points []Point) []Result {
 }
 
 // aggregate folds the replica metric maps of one point into summaries.
-// Metric names are taken from replica 0; a replica missing a name
-// contributes nothing to that metric (its summary reports the smaller N).
+// Metric names are taken from the first replica that produced any (a
+// replica may be nil when its scenario failed — see SweepScenarios —
+// and must not erase the successful replicas' data); a replica missing
+// a name contributes nothing to that metric (its summary reports the
+// smaller N).
 func aggregate(name string, seeds []int64, reps []Metrics) Result {
 	res := Result{
 		Name:     name,
@@ -147,10 +150,17 @@ func aggregate(name string, seeds []int64, reps []Metrics) Result {
 		Metrics:  map[string]stats.Summary{},
 		Values:   map[string][]float64{},
 	}
-	if len(reps) == 0 || reps[0] == nil {
+	var base Metrics
+	for _, m := range reps {
+		if m != nil {
+			base = m
+			break
+		}
+	}
+	if base == nil {
 		return res
 	}
-	for metric := range reps[0] {
+	for metric := range base {
 		vals := make([]float64, 0, len(reps))
 		for _, m := range reps {
 			if v, ok := m[metric]; ok {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/stats"
@@ -61,6 +63,12 @@ func (t *Trace) Validate() error {
 			}
 			if p.Start < 0 || p.End > t.Horizon || p.End <= p.Start {
 				return fmt.Errorf("workload: period %d has bad bounds [%v,%v)", i, p.Start, p.End)
+			}
+			// The generator clamps DeclaredEnd to at least Start (a
+			// declared end may exceed End — a surprise reclaim — or
+			// even the horizon, but never precede the period).
+			if p.DeclaredEnd < p.Start {
+				return fmt.Errorf("workload: period %d declares end %v before start %v", i, p.DeclaredEnd, p.Start)
 			}
 			if p.Start < lastEnd[node] {
 				return fmt.Errorf("workload: node %d periods overlap at %v", node, p.Start)
@@ -158,36 +166,70 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV. Parsing is strict —
+// wrong field counts, non-numeric fields, trailing garbage, rows
+// naming nodes outside the header's cluster size, and semantically
+// invalid traces (empty or reversed periods, periods past the
+// horizon, per-node overlaps — the Validate invariants) are all
+// rejected — because joblen-opt feeds user-supplied files through
+// here and the packing simulators assume a well-formed trace.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	t := &Trace{}
 	first := true
+	lineNo := 0
 	for sc.Scan() {
 		line := sc.Text()
+		lineNo++
 		if line == "" {
 			continue
 		}
 		if first {
 			first = false
-			var horizon float64
-			if _, err := fmt.Sscanf(line, "#%d,%f", &t.Nodes, &horizon); err != nil {
-				return nil, fmt.Errorf("workload: bad trace header %q: %w", line, err)
+			rest, ok := strings.CutPrefix(line, "#")
+			if !ok {
+				return nil, fmt.Errorf("workload: bad trace header %q: want #nodes,horizon_s", line)
 			}
+			fields := strings.Split(rest, ",")
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("workload: bad trace header %q: want 2 fields, got %d", line, len(fields))
+			}
+			nodes, err := strconv.Atoi(fields[0])
+			if err != nil || nodes <= 0 {
+				return nil, fmt.Errorf("workload: bad trace header %q: node count %q", line, fields[0])
+			}
+			horizon, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || horizon <= 0 {
+				return nil, fmt.Errorf("workload: bad trace header %q: horizon %q", line, fields[1])
+			}
+			t.Nodes = nodes
 			t.Horizon = time.Duration(horizon * float64(time.Second))
 			continue
 		}
-		var node int
-		var start, end, decl float64
-		if _, err := fmt.Sscanf(line, "%d,%f,%f,%f", &node, &start, &end, &decl); err != nil {
-			return nil, fmt.Errorf("workload: bad trace row %q: %w", line, err)
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("workload: bad trace row %d %q: want node,start_s,end_s,declared_end_s", lineNo, line)
+		}
+		node, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad trace row %d %q: node %q: %v", lineNo, line, fields[0], err)
+		}
+		if node < 0 || node >= t.Nodes {
+			return nil, fmt.Errorf("workload: bad trace row %d %q: node %d outside cluster of %d", lineNo, line, node, t.Nodes)
+		}
+		secs := make([]float64, 3)
+		for i, f := range fields[1:] {
+			secs[i], err = strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad trace row %d %q: field %q: %v", lineNo, line, f, err)
+			}
 		}
 		t.Periods = append(t.Periods, IdlePeriod{
 			Node:        node,
-			Start:       time.Duration(start * float64(time.Second)),
-			End:         time.Duration(end * float64(time.Second)),
-			DeclaredEnd: time.Duration(decl * float64(time.Second)),
+			Start:       time.Duration(secs[0] * float64(time.Second)),
+			End:         time.Duration(secs[1] * float64(time.Second)),
+			DeclaredEnd: time.Duration(secs[2] * float64(time.Second)),
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -197,6 +239,9 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("workload: empty trace stream")
 	}
 	t.Sort()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
