@@ -10,9 +10,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bus"
+	"repro/internal/des"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/whisk"
 	"repro/internal/workload"
 )
 
@@ -218,6 +221,41 @@ func BenchmarkEndogenousScheduler(b *testing.B) {
 	}
 	b.ReportMetric(100*r.PrimeUtilization, "prime-util-%")
 	b.ReportMetric(100*r.PilotCoverage, "pilot-coverage-%")
+}
+
+// BenchmarkRequestPath measures one invocation end to end through the
+// pooled whisk request path: ingress → route → publish → pull →
+// execute → result → egress on a single registered invoker, including
+// the idle poll ticks of the surrounding five virtual seconds. This is
+// the micro-benchmark behind the Fig. 5b/6b numbers; steady state must
+// stay allocation-free (the CI gate ratchets allocs/op).
+func BenchmarkRequestPath(b *testing.B) {
+	b.ReportAllocs()
+	sim := des.New()
+	mb := bus.New(sim, nil, 1)
+	cfg := whisk.DefaultControllerConfig()
+	cfg.PoolInvocations = true
+	ctrl := whisk.NewController(sim, mb, cfg, 2)
+	ctrl.RegisterAction(&whisk.Action{
+		Name:          "bench",
+		MemoryMB:      256,
+		Exec:          whisk.FixedExec(10 * time.Millisecond),
+		Interruptible: true,
+	})
+	ctrl.Register(whisk.NewInvoker(whisk.DefaultInvokerConfig(), 3))
+	for i := 0; i < 4; i++ { // warm the invocation, message, and des pools
+		ctrl.Invoke("bench", nil)
+		sim.RunFor(5 * time.Second)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Invoke("bench", nil)
+		sim.RunFor(5 * time.Second)
+	}
+	b.StopTimer()
+	if want := b.N + 4; ctrl.NSuccess+ctrl.NFailed != want {
+		b.Fatalf("completed %d of %d invocations", ctrl.NSuccess+ctrl.NFailed, want)
+	}
 }
 
 // BenchmarkTraceGeneration measures the idle-process generator itself

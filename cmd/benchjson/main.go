@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -111,7 +112,20 @@ func gate(baseline, current Doc, tracked []string, gatePct float64) []regression
 		for _, metric := range tracked {
 			b, okB := base[metric]
 			c, okC := cur[metric]
-			if !okB || !okC || b <= 0 {
+			if !okB || !okC || b < 0 {
+				continue
+			}
+			if b == 0 {
+				// A zero baseline is a promise (the zero-alloc request
+				// path): any nonzero current value breaks it outright —
+				// there is no percentage to ratchet against.
+				if c > 0 {
+					regs = append(regs, regression{
+						bench: name, metric: metric,
+						baseline: b, current: c,
+						driftPct: math.Inf(1), gatePct: gatePct,
+					})
+				}
 				continue
 			}
 			drift := 100 * (c - b) / b
@@ -127,12 +141,43 @@ func gate(baseline, current Doc, tracked []string, gatePct float64) []regression
 	return regs
 }
 
+// missingRequired returns the entries from the comma-separated require
+// list that the document does not fully carry, in list order: the bare
+// name when the benchmark is absent, or "name (metric)" when the
+// benchmark is present but lacks a tracked metric (e.g. a run without
+// -benchmem has no allocs/op to gate).
+func missingRequired(doc Doc, require string, tracked []string) []string {
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, ok := doc.Benchmarks[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		for _, metric := range tracked {
+			metric = strings.TrimSpace(metric)
+			if metric == "" {
+				continue
+			}
+			if _, ok := m[metric]; !ok {
+				missing = append(missing, name+" ("+metric+")")
+			}
+		}
+	}
+	return missing
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
 	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against (empty = no gate)")
 	gatePct := flag.Float64("gate", 25, "fail when a tracked metric regresses by more than this percentage")
 	track := flag.String("track", "ns/op,allocs/op,B/op", "comma-separated tracked metric units")
+	require := flag.String("require", "", "comma-separated benchmark names that must appear in the input (a gated benchmark that silently vanishes — renamed, build-tagged out, crashed — fails the run instead of being skipped)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -152,6 +197,15 @@ func main() {
 	}
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	tracked := strings.Split(*track, ",")
+	for i := range tracked {
+		tracked[i] = strings.TrimSpace(tracked[i])
+	}
+	if missing := missingRequired(doc, *require, tracked); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: required benchmarks missing from input: %s\n",
+			strings.Join(missing, ", "))
 		os.Exit(1)
 	}
 
@@ -183,7 +237,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baselinePath, err)
 		os.Exit(1)
 	}
-	regs := gate(baseline, doc, strings.Split(*track, ","), *gatePct)
+	// The baseline must carry the required benchmarks too: gate()
+	// skips metrics absent from the baseline, so a stale or trimmed
+	// BENCH_ci.json would otherwise silently disarm the ratchet while
+	// -require kept passing on the fresh output.
+	if missing := missingRequired(baseline, *require, tracked); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: required benchmarks missing from baseline %s: %s (re-ratchet the baseline)\n",
+			*baselinePath, strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	regs := gate(baseline, doc, tracked, *gatePct)
 	for _, reg := range regs {
 		fmt.Fprintln(os.Stderr, reg)
 	}

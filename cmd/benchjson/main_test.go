@@ -88,3 +88,66 @@ func TestParseRejectsMalformedValue(t *testing.T) {
 		t.Error("malformed value accepted")
 	}
 }
+
+func TestMissingRequired(t *testing.T) {
+	doc := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkRequestPath": {"ns/op": 2500, "allocs/op": 0},
+		"BenchmarkFig5b":       {"ns/op": 1, "allocs/op": 2},
+	}}
+	cases := []struct {
+		require string
+		tracked []string
+		want    []string
+	}{
+		{"", []string{"allocs/op"}, nil},
+		{"BenchmarkRequestPath", []string{"allocs/op"}, nil},
+		{"BenchmarkRequestPath,BenchmarkFig5b", []string{"ns/op", "allocs/op"}, nil},
+		{" BenchmarkRequestPath , BenchmarkFig5b ", []string{"allocs/op"}, nil},
+		{"BenchmarkGone", []string{"allocs/op"}, []string{"BenchmarkGone"}},
+		{"BenchmarkRequestPath,BenchmarkGone,BenchmarkAlsoGone", []string{"allocs/op"},
+			[]string{"BenchmarkGone", "BenchmarkAlsoGone"}},
+		{",,", []string{"allocs/op"}, nil},
+		// A present benchmark missing a tracked metric (a -benchmem-less
+		// run, or a trimmed baseline) is flagged at metric level.
+		{"BenchmarkRequestPath", []string{"allocs/op", "B/op"},
+			[]string{"BenchmarkRequestPath (B/op)"}},
+		{"BenchmarkRequestPath", []string{" allocs/op ", ""}, nil},
+	}
+	for _, tc := range cases {
+		got := missingRequired(doc, tc.require, tc.tracked)
+		if len(got) != len(tc.want) {
+			t.Errorf("missingRequired(%q, %v) = %v, want %v", tc.require, tc.tracked, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("missingRequired(%q, %v) = %v, want %v", tc.require, tc.tracked, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestGateZeroBaselineIsAPromise(t *testing.T) {
+	baseline := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkRequestPath": {"allocs/op": 0, "B/op": 0, "ns/op": 2500},
+	}}
+	clean := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkRequestPath": {"allocs/op": 0, "B/op": 0, "ns/op": 2600},
+	}}
+	if regs := gate(baseline, clean, []string{"allocs/op", "B/op"}, 25); len(regs) != 0 {
+		t.Fatalf("zero staying zero flagged: %v", regs)
+	}
+	dirty := Doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkRequestPath": {"allocs/op": 3, "B/op": 96, "ns/op": 2600},
+	}}
+	regs := gate(baseline, dirty, []string{"allocs/op", "B/op"}, 25)
+	if len(regs) != 2 {
+		t.Fatalf("zero→nonzero must fail both tracked metrics, got %v", regs)
+	}
+	for _, r := range regs {
+		if r.String() == "" {
+			t.Error("empty regression rendering")
+		}
+	}
+}

@@ -3,10 +3,17 @@
 // queues, the global fast-lane topic of §III-C, and bulk move semantics
 // used by the hand-off protocol (a terminating invoker's unexecuted
 // requests move to the fast lane; the controller moves the unpulled ones).
+//
+// The bus sits on the per-invocation hot path (one publish + one
+// delivery + one pull per request, 864k requests on a paper day), so it
+// is allocation-free in steady state: messages live in a per-bus free
+// list with generation-checked recycling (mirroring the des callback
+// slot pool), deliveries are typed-arg des events carrying the message
+// itself (no per-publish closure), and the target topic is captured
+// once at publish time (no per-delivery map lookup).
 package bus
 
 import (
-	"math/rand"
 	"time"
 
 	"repro/internal/des"
@@ -14,6 +21,13 @@ import (
 )
 
 // Message is one queued unit (an OpenWhisk activation request).
+//
+// Messages are pooled: a consumer that pulled a message owns it and may
+// hand it back with Bus.Recycle once the payload is extracted, after
+// which the pointer must not be used again (Generation detects stale
+// handles in tests). Consumers that never recycle — external pullers,
+// rotting queues of killed invokers — simply leave the message to the
+// garbage collector, exactly as before pooling.
 type Message struct {
 	ID        int64
 	TopicName string
@@ -21,15 +35,26 @@ type Message struct {
 	Published des.Time // when Publish was called
 	Delivered des.Time // when it became pullable
 	Moves     int      // how many times it was moved between topics
+
+	topic  *Topic // delivery/requeue target, captured at publish time
+	gen    uint32 // increments on every recycle
+	pooled bool   // sitting in the bus free list (double-recycle guard)
 }
+
+// Generation reports how many times the message's slot has been
+// recycled. A holder that kept a *Message across a Recycle can detect
+// the reuse by comparing generations.
+func (m *Message) Generation() uint32 { return m.gen }
 
 // Bus manages topics on the simulation plane.
 type Bus struct {
 	sim     *des.Sim
-	rng     *rand.Rand
-	latency dist.Dist // publish→deliver latency in seconds
+	latency dist.Sampler // publish→deliver latency in seconds
 	topics  map[string]*Topic
 	nextID  int64
+
+	free      []*Message
+	deliverFn func(any) // cached method value: one closure per bus, not per publish
 
 	// Counters across all topics.
 	Published int
@@ -45,12 +70,13 @@ func New(sim *des.Sim, latency dist.Dist, seed int64) *Bus {
 	if latency == nil {
 		latency = DefaultLatency()
 	}
-	return &Bus{
+	b := &Bus{
 		sim:     sim,
-		rng:     dist.NewRand(seed),
-		latency: latency,
+		latency: dist.NewSampler(latency, dist.NewRand(seed)),
 		topics:  map[string]*Topic{},
 	}
+	b.deliverFn = b.deliver
+	return b
 }
 
 // Topic returns the named topic, creating it on first use.
@@ -65,32 +91,103 @@ func (b *Bus) Topic(name string) *Topic {
 
 // Publish enqueues payload on the named topic after the delivery latency.
 func (b *Bus) Publish(name string, payload any) *Message {
-	m := &Message{
-		ID:        b.nextID,
-		TopicName: name,
-		Payload:   payload,
-		Published: b.sim.Now(),
-	}
+	return b.PublishTo(b.Topic(name), payload)
+}
+
+// PublishTo is Publish for callers that already hold the topic: it
+// skips the name lookup, which matters on the request path where the
+// controller resolved the invoker's topic at routing time. The topic is
+// captured in the message; if it is Deleted while the delivery is in
+// flight, the delivery re-resolves deliberately — onto the topic
+// currently registered under the name if one exists, else by
+// re-registering this captured topic — see Bus.deliver.
+func (b *Bus) PublishTo(t *Topic, payload any) *Message {
+	m := b.get()
+	m.ID = b.nextID
+	m.TopicName = t.name
+	m.Payload = payload
+	m.Published = b.sim.Now()
+	m.topic = t
 	b.nextID++
 	b.Published++
-	d := dist.Seconds(b.latency, b.rng)
-	b.sim.After(d, func() {
-		t := b.Topic(name)
-		m.Delivered = b.sim.Now()
-		t.queue = append(t.queue, m)
-		t.Delivered++
-		if t.onDelivery != nil {
-			t.onDelivery()
-		}
-	})
+	b.sim.AfterCall(b.latency.Seconds(), b.deliverFn, m)
 	return m
+}
+
+// Wrap takes a blank message from the pool around an out-of-band
+// payload (an invoker flushing interrupted work to the fast lane via
+// Requeue). Unlike Publish it assigns no ID, stamps no publish time,
+// and counts nothing: the message never traveled through a delivery.
+func (b *Bus) Wrap(payload any) *Message {
+	m := b.get()
+	m.Payload = payload
+	return m
+}
+
+// Recycle returns a consumed message to the free list. Only the owner
+// (the consumer that pulled it, or the publisher of a message that
+// never reached a queue) may recycle; doing so twice panics. The
+// message is zeroed except for its generation, which increments so
+// stale handles are detectable.
+func (b *Bus) Recycle(m *Message) {
+	if m.pooled {
+		panic("bus: message recycled twice")
+	}
+	*m = Message{gen: m.gen + 1, pooled: true}
+	b.free = append(b.free, m)
+}
+
+// get pops the free list or allocates the pool's next message.
+func (b *Bus) get() *Message {
+	if k := len(b.free); k > 0 {
+		m := b.free[k-1]
+		b.free[k-1] = nil
+		b.free = b.free[:k-1]
+		m.pooled = false
+		return m
+	}
+	return &Message{}
+}
+
+// deliver lands a published message on its captured topic (the typed-arg
+// des callback of every publish). If the topic was Deleted while the
+// message was in flight, the delivery re-resolves deliberately: into
+// the topic currently registered under the name if one exists, else by
+// re-registering the captured topic itself — preserving its counters
+// and delivery callback rather than silently resurrecting a zeroed
+// twin under the same name.
+func (b *Bus) deliver(v any) {
+	m := v.(*Message)
+	t := m.topic
+	if t.deleted {
+		t = b.reattach(t)
+		m.topic = t
+		m.TopicName = t.name
+	}
+	m.Delivered = b.sim.Now()
+	t.queue = append(t.queue, m)
+	t.Delivered++
+	if t.onDelivery != nil {
+		t.onDelivery()
+	}
+}
+
+// reattach resolves a delivery into a deleted topic (cold path).
+func (b *Bus) reattach(t *Topic) *Topic {
+	if cur, ok := b.topics[t.name]; ok {
+		return cur
+	}
+	t.deleted = false
+	b.topics[t.name] = t
+	return t
 }
 
 // Topic is a FIFO queue with single-consumer pull semantics.
 type Topic struct {
-	name  string
-	bus   *Bus
-	queue []*Message
+	name    string
+	bus     *Bus
+	queue   []*Message
+	deleted bool
 
 	onDelivery func()
 
@@ -118,15 +215,29 @@ func (t *Topic) Pull(max int) []*Message {
 	if n > len(t.queue) {
 		n = len(t.queue)
 	}
-	out := make([]*Message, n)
-	copy(out, t.queue[:n])
+	return t.PullAppend(make([]*Message, 0, n), max)
+}
+
+// PullAppend removes up to max messages from the head and appends them
+// to dst, returning the extended slice. It is Pull without the per-call
+// result allocation: invokers poll every 100 ms per worker, so they
+// reuse their buffer as dst.
+func (t *Topic) PullAppend(dst []*Message, max int) []*Message {
+	n := max
+	if n > len(t.queue) {
+		n = len(t.queue)
+	}
+	if n <= 0 {
+		return dst
+	}
+	dst = append(dst, t.queue[:n]...)
 	copy(t.queue, t.queue[n:])
 	for i := len(t.queue) - n; i < len(t.queue); i++ {
 		t.queue[i] = nil
 	}
 	t.queue = t.queue[:len(t.queue)-n]
 	t.Pulled += n
-	return out
+	return dst
 }
 
 // MoveAll transfers every queued message to another topic immediately
@@ -136,6 +247,7 @@ func (t *Topic) MoveAll(to *Topic) int {
 	for _, m := range t.queue {
 		m.Moves++
 		m.TopicName = to.name
+		m.topic = to
 		to.queue = append(to.queue, m)
 	}
 	t.queue = t.queue[:0]
@@ -152,6 +264,7 @@ func (t *Topic) Requeue(msgs []*Message) {
 	for _, m := range msgs {
 		m.Moves++
 		m.TopicName = t.name
+		m.topic = t
 		t.queue = append(t.queue, m)
 	}
 	if len(msgs) > 0 && t.onDelivery != nil {
@@ -160,11 +273,14 @@ func (t *Topic) Requeue(msgs []*Message) {
 }
 
 // Delete removes the topic from the bus (its queue must be empty;
-// callers move messages first). Publishing to the name recreates it.
+// callers move messages first). Publishing to the name afterwards
+// recreates a fresh topic; a delivery already in flight at Delete time
+// re-resolves deliberately — see Bus.deliver.
 func (t *Topic) Delete() {
 	if len(t.queue) > 0 {
 		panic("bus: deleting non-empty topic " + t.name)
 	}
+	t.deleted = true
 	delete(t.bus.topics, t.name)
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"time"
 
 	"repro/internal/cluster"
@@ -106,8 +105,11 @@ type SlurmLogger struct {
 	sim     *des.Sim
 	emu     *slurm.Emulator
 	gap     time.Duration
-	latency dist.Dist
-	rng     *rand.Rand
+	latency dist.Sampler
+
+	// Cached typed-arg callbacks: the poll loop runs 8,640 times per
+	// simulated day and schedules without allocating a closure per hop.
+	requestFn, recordFn func(any)
 
 	Entries []SlurmLogEntry
 	stopped bool
@@ -115,13 +117,15 @@ type SlurmLogger struct {
 
 // NewSlurmLogger builds a logger with the paper's latency model.
 func NewSlurmLogger(emu *slurm.Emulator, seed int64) *SlurmLogger {
-	return &SlurmLogger{
+	l := &SlurmLogger{
 		sim:     emu.Sim(),
 		emu:     emu,
 		gap:     10 * time.Second,
-		latency: dist.QueryLatencySeconds(),
-		rng:     dist.NewRand(seed),
+		latency: dist.NewSampler(dist.QueryLatencySeconds(), dist.NewRand(seed)),
 	}
+	l.requestFn = func(any) { l.request() }
+	l.recordFn = l.recordCb
+	return l
 }
 
 // Start issues the first request immediately.
@@ -134,16 +138,19 @@ func (l *SlurmLogger) request() {
 	if l.stopped {
 		return
 	}
-	lat := dist.Seconds(l.latency, l.rng)
-	l.sim.After(lat, func() {
-		cl := l.emu.Cluster()
-		l.Entries = append(l.Entries, SlurmLogEntry{
-			At:    l.sim.Now(),
-			Idle:  cl.Count(cluster.Idle),
-			Pilot: cl.Count(cluster.Pilot),
-		})
-		l.sim.After(l.gap, l.request)
+	l.sim.AfterCall(l.latency.Seconds(), l.recordFn, nil)
+}
+
+// recordCb logs the response and waits the fixed gap before polling
+// again.
+func (l *SlurmLogger) recordCb(any) {
+	cl := l.emu.Cluster()
+	l.Entries = append(l.Entries, SlurmLogEntry{
+		At:    l.sim.Now(),
+		Idle:  cl.Count(cluster.Idle),
+		Pilot: cl.Count(cluster.Pilot),
 	})
+	l.sim.AfterCall(l.gap, l.requestFn, nil)
 }
 
 // AverageSpacing returns the mean distance between measurements

@@ -165,6 +165,8 @@ type PilotManager struct {
 	pending []*slurm.Job // this manager's queued, not-yet-started jobs
 	ticker  *des.Ticker
 
+	warmupFn func(any) // cached typed-arg callback: one per manager, not per pilot
+
 	// States tracks the OpenWhisk-level worker-state shares of
 	// Tables II/III (warming / healthy / irresponsive counts over time).
 	States *WorkerStates
@@ -196,7 +198,7 @@ func NewPilotManager(emu *slurm.Emulator, ctrl *whisk.Controller, cfg ManagerCon
 		}
 	}
 	pol.Init(dist.NewRand(cfg.Seed + policySeedOffset))
-	return &PilotManager{
+	m := &PilotManager{
 		sim:    emu.Sim(),
 		emu:    emu,
 		ctrl:   ctrl,
@@ -206,6 +208,8 @@ func NewPilotManager(emu *slurm.Emulator, ctrl *whisk.Controller, cfg ManagerCon
 		pilots: map[*slurm.Job]*pilot{},
 		States: NewWorkerStates(),
 	}
+	m.warmupFn = m.warmupCb
+	return m
 }
 
 // Policy exposes the active supply policy (e.g. to read
@@ -337,19 +341,24 @@ func (m *PilotManager) onPilotStart(j *slurm.Job) {
 	m.pilots[j] = p
 	m.States.Add(m.sim.Now(), phaseWarming)
 	warmup := dist.Seconds(m.cfg.WarmupSeconds, m.rng)
-	p.warmupEv = m.sim.After(warmup, func() {
-		if j.State != slurm.Running {
-			return
-		}
-		inv := whisk.NewInvoker(m.cfg.Invoker, m.rng.Int63())
-		m.ctrl.Register(inv)
-		p.invoker = inv
-		p.healthyAt = m.sim.Now()
-		m.Registered++
-		m.States.Move(m.sim.Now(), phaseWarming, phaseHealthy)
-		p.phase = phaseHealthy
-	})
+	p.warmupEv = m.sim.AfterCall(warmup, m.warmupFn, p)
 	m.policy.PilotStarted(managerEnv{m})
+}
+
+// warmupCb completes a pilot's boot: the invoker registers with the
+// controller and the worker turns healthy.
+func (m *PilotManager) warmupCb(v any) {
+	p := v.(*pilot)
+	if p.job.State != slurm.Running {
+		return
+	}
+	inv := whisk.NewInvoker(m.cfg.Invoker, m.rng.Int63())
+	m.ctrl.Register(inv)
+	p.invoker = inv
+	p.healthyAt = m.sim.Now()
+	m.Registered++
+	m.States.Move(m.sim.Now(), phaseWarming, phaseHealthy)
+	p.phase = phaseHealthy
 }
 
 // onSigterm runs the §III-C hand-off (or the ablation's hard kill).
@@ -364,13 +373,13 @@ func (m *PilotManager) onSigterm(j *slurm.Job, at des.Time) {
 		p.warmupEv.Stop()
 		m.KilledInWarmup++
 		m.finishPilot(p, at)
-		m.sim.After(time.Second, j.Exit)
+		m.sim.AfterCall(time.Second, exitJob, j)
 	case phaseHealthy:
 		if !m.cfg.GracefulHandoff {
 			m.KilledUngraceful++
 			p.invoker.Kill()
 			m.finishPilot(p, at)
-			m.sim.After(time.Second, j.Exit)
+			m.sim.AfterCall(time.Second, exitJob, j)
 			return
 		}
 		p.phase = phaseDraining
@@ -417,6 +426,9 @@ func (m *PilotManager) onEnd(j *slurm.Job, reason slurm.EndReason) {
 		Registered: p.invoker != nil,
 	})
 }
+
+// exitJob is the shared typed-arg callback for delayed pilot exits.
+func exitJob(v any) { v.(*slurm.Job).Exit() }
 
 // endReason maps the emulator's exit reasons onto the policy view.
 func endReason(r slurm.EndReason) policy.EndReason {

@@ -26,10 +26,17 @@ type SystemConfig struct {
 // DefaultSystemConfig returns a deployment matching the paper's setup
 // for the given cluster size and supply mode.
 func DefaultSystemConfig(nodes int, mode Mode) SystemConfig {
+	ctrl := whisk.DefaultControllerConfig()
+	// The wired deployment's clients (load generators, the Alg. 1
+	// wrapper, experiment accounting) never retain an invocation past
+	// its completion callback, so the full deployment runs the
+	// allocation-free pooled request path. Standalone controllers keep
+	// pooling off by default.
+	ctrl.PoolInvocations = true
 	return SystemConfig{
 		Nodes:      nodes,
 		Slurm:      slurm.DefaultConfig(),
-		Controller: whisk.DefaultControllerConfig(),
+		Controller: ctrl,
 		Manager:    DefaultManagerConfig(mode),
 		Seed:       1,
 	}

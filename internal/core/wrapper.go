@@ -30,10 +30,72 @@ type Wrapper struct {
 	has503  bool
 	last503 des.Time
 
+	// callPool recycles the per-call retry context (action + done +
+	// cached completion callback), so a primary invocation costs no
+	// closure allocation in steady state.
+	callPool []*wrapCall
+
 	// Counters.
 	PrimaryCalls  int
 	FallbackCalls int
 	Retries       int
+}
+
+// wrapCall is one in-flight primary invocation's retry context. fn is
+// the method value handed to the backend, created once per pooled
+// object rather than once per call.
+type wrapCall struct {
+	w      *Wrapper
+	action string
+	done   func(*whisk.Invocation)
+	fn     func(*whisk.Invocation)
+}
+
+// onDone implements the 503-retry branch of Alg. 1 for one call. The
+// call object returns to the pool before any retry re-enters Invoke,
+// so the recursion can reuse it.
+func (c *wrapCall) onDone(inv *whisk.Invocation) {
+	w := c.w
+	action, done := c.action, c.done
+	c.action, c.done = "", nil
+	w.callPool = append(w.callPool, c)
+	if inv.Status == whisk.Status503 && w.fallback != nil {
+		w.has503 = true
+		w.last503 = w.sim.Now()
+		w.Retries++
+		// Back-date the retried invocation to the original submission:
+		// clients measure latency as Completed−Submitted, and the
+		// client-observed span of a retried call includes the primary's
+		// 503 round trip (the retry is invisible per Alg. 1). The
+		// closure is fine here — retries are the rare 503 window, never
+		// the steady-state request path.
+		sub := inv.Submitted
+		w.Invoke(action, func(retry *whisk.Invocation) {
+			if retry.Submitted > sub {
+				retry.Submitted = sub
+			}
+			if done != nil {
+				done(retry)
+			}
+		})
+		return
+	}
+	if done != nil {
+		done(inv)
+	}
+}
+
+// getCall pops the pool or builds a new call context.
+func (w *Wrapper) getCall() *wrapCall {
+	if k := len(w.callPool); k > 0 {
+		c := w.callPool[k-1]
+		w.callPool[k-1] = nil
+		w.callPool = w.callPool[:k-1]
+		return c
+	}
+	c := &wrapCall{w: w}
+	c.fn = c.onDone
+	return c
 }
 
 // NewWrapper builds the Alg. 1 wrapper. fallback may be nil, in which
@@ -51,16 +113,7 @@ func (w *Wrapper) Invoke(action string, done func(*whisk.Invocation)) {
 		return
 	}
 	w.PrimaryCalls++
-	w.primary.Invoke(action, func(inv *whisk.Invocation) {
-		if inv.Status == whisk.Status503 && w.fallback != nil {
-			w.has503 = true
-			w.last503 = w.sim.Now()
-			w.Retries++
-			w.Invoke(action, done)
-			return
-		}
-		if done != nil {
-			done(inv)
-		}
-	})
+	c := w.getCall()
+	c.action, c.done = action, done
+	w.primary.Invoke(action, c.fn)
 }

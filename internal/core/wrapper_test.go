@@ -21,11 +21,13 @@ func TestWrapperNoHealthyInvokerNoFallback(t *testing.T) {
 	w := NewWrapper(sys.Sim, sys.Ctrl, nil)
 	sys.Start()
 
-	var got []*whisk.Invocation
+	// The wired deployment pools invocations, so the callback copies the
+	// status instead of retaining the (recyclable) invocation pointer.
+	var got []whisk.Status
 	for i := 0; i < 3; i++ {
 		at := time.Duration(i) * time.Minute
 		sys.Sim.Schedule(at, func() {
-			w.Invoke("f", func(inv *whisk.Invocation) { got = append(got, inv) })
+			w.Invoke("f", func(inv *whisk.Invocation) { got = append(got, inv.Status) })
 		})
 	}
 	sys.Run(time.Hour)
@@ -33,9 +35,9 @@ func TestWrapperNoHealthyInvokerNoFallback(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("%d completions, want 3", len(got))
 	}
-	for i, inv := range got {
-		if inv.Status != whisk.Status503 {
-			t.Errorf("call %d status %v, want 503 surfaced", i, inv.Status)
+	for i, st := range got {
+		if st != whisk.Status503 {
+			t.Errorf("call %d status %v, want 503 surfaced", i, st)
 		}
 	}
 	if w.PrimaryCalls != 3 || w.FallbackCalls != 0 || w.Retries != 0 {
@@ -104,5 +106,36 @@ func TestWrapperFallbackFailurePropagates(t *testing.T) {
 			t.Errorf("status %s: after cooldown call primary=%d fallback=%d, want 1/2",
 				status, primary.calls, fb.calls)
 		}
+	}
+}
+
+// TestWrapperRetryLatencySpansFullChain pins the client-observed
+// latency semantics of a retried call: Alg. 1 hides the retry, so
+// Completed−Submitted on the invocation handed to done must cover the
+// whole chain from the original submission — including the primary's
+// 503 round trip — not just the fallback leg. (Clients compute latency
+// from those fields since the request path stopped allocating a
+// per-request closure; the wrapper back-dates retried invocations to
+// keep the measurement unchanged.)
+func TestWrapperRetryLatencySpansFullChain(t *testing.T) {
+	sim := des.New()
+	primary := &statusBackend{sim: sim, status: whisk.Status503, delay: 20 * time.Millisecond}
+	fb := &statusBackend{sim: sim, status: whisk.StatusSuccess, delay: 30 * time.Millisecond}
+	w := NewWrapper(sim, primary, fb)
+
+	issue := 5 * time.Millisecond
+	var sub, comp time.Duration
+	sim.Schedule(issue, func() {
+		w.Invoke("f", func(inv *whisk.Invocation) {
+			sub, comp = inv.Submitted, inv.Completed
+		})
+	})
+	sim.Run()
+
+	if sub != issue {
+		t.Errorf("Submitted = %v, want the original issue instant %v", sub, issue)
+	}
+	if want := issue + 20*time.Millisecond + 30*time.Millisecond; comp != want {
+		t.Errorf("Completed = %v, want %v (503 round trip + fallback leg)", comp, want)
 	}
 }

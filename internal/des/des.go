@@ -48,8 +48,16 @@ type Event struct {
 // a false match needs one slot to cycle exactly 2^32 times while a
 // stale reference is held; whole runs schedule orders of magnitude
 // fewer events.)
+//
+// A slot holds either a plain callback (fn) or a typed-argument pair
+// (fnA, arg) from ScheduleCall; exactly one of fn/fnA is non-nil while
+// the slot is live. The typed form lets hot-path callers reuse one
+// long-lived func(any) (typically a cached method value) instead of
+// allocating a capturing closure per event.
 type node struct {
 	fn  func()
+	fnA func(any)
+	arg any
 	gen uint32
 }
 
@@ -89,10 +97,11 @@ func (e Event) Stop() bool {
 	}
 	// Release the slot immediately; the heap entry becomes stale and is
 	// skipped when it surfaces (the queue is index-free by design).
-	n.fn = nil
+	n.fn, n.fnA, n.arg = nil, nil, nil
 	n.gen++
 	s.free = append(s.free, e.idx)
 	s.npending--
+	s.ndead++
 	return true
 }
 
@@ -117,6 +126,17 @@ type Sim struct {
 
 	seq      uint64
 	npending int
+
+	// ndead estimates how many stale (stopped) entries the heap still
+	// carries. Canceled events release their slot immediately but leave
+	// their 24-byte heap entry behind until it surfaces — under a
+	// request-path workload that arms and cancels a 60-second timeout
+	// per invocation, stale entries can outnumber live ones and deepen
+	// every sift. When the estimate says the heap is mostly dead it is
+	// compacted in place (maybeCompact); the counter is a heuristic
+	// only — an event stopped while sitting in the in-flight batch
+	// briefly overcounts — and every compaction resets it to exact.
+	ndead int
 }
 
 // New returns an empty simulation with its clock at instant 0.
@@ -131,11 +151,44 @@ func (s *Sim) Pending() int { return s.npending }
 // Schedule queues fn to run at instant at. Scheduling in the past panics:
 // a component that does so holds a stale view of the clock, which is a bug.
 func (s *Sim) Schedule(at Time, fn func()) Event {
-	if at < s.now {
-		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
-	}
 	if fn == nil {
 		panic("des: schedule with nil callback")
+	}
+	idx, n := s.acquire(at)
+	n.fn = fn
+	return s.enqueue(at, idx, n)
+}
+
+// After queues fn to run d from now. A negative d panics.
+func (s *Sim) After(d time.Duration, fn func()) Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// ScheduleCall queues fn(arg) to run at instant at. It is Schedule for
+// the hot path: fn is typically a long-lived func(any) (a method value
+// cached once on the caller) and arg the per-event payload, so queueing
+// an event allocates nothing — no closure is created and the (fn, arg)
+// pair lives in the pooled slot. Events from ScheduleCall and Schedule
+// share one total (instant, sequence) order.
+func (s *Sim) ScheduleCall(at Time, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	idx, n := s.acquire(at)
+	n.fnA = fn
+	n.arg = arg
+	return s.enqueue(at, idx, n)
+}
+
+// AfterCall queues fn(arg) to run d from now. A negative d panics.
+func (s *Sim) AfterCall(d time.Duration, fn func(any), arg any) Event {
+	return s.ScheduleCall(s.now+d, fn, arg)
+}
+
+// acquire validates the instant and takes a free callback slot.
+func (s *Sim) acquire(at Time) (int32, *node) {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
 	}
 	var idx int32
 	if k := len(s.free); k > 0 {
@@ -145,8 +198,11 @@ func (s *Sim) Schedule(at Time, fn func()) Event {
 		s.nodes = append(s.nodes, node{})
 		idx = int32(len(s.nodes) - 1)
 	}
-	n := &s.nodes[idx]
-	n.fn = fn
+	return idx, &s.nodes[idx]
+}
+
+// enqueue pushes the filled slot onto the heap and hands out the handle.
+func (s *Sim) enqueue(at Time, idx int32, n *node) Event {
 	seq := s.seq
 	s.seq++
 	s.push(entry{when: at, seq: seq, gen: n.gen, idx: idx})
@@ -154,20 +210,19 @@ func (s *Sim) Schedule(at Time, fn func()) Event {
 	return Event{sim: s, when: at, gen: n.gen, idx: idx}
 }
 
-// After queues fn to run d from now. A negative d panics.
-func (s *Sim) After(d time.Duration, fn func()) Event {
-	return s.Schedule(s.now+d, fn)
-}
-
 // fire releases e's slot and runs its callback. The caller must have
 // checked that e is live (slot generation matches) and set the clock.
 func (s *Sim) fire(e entry) {
 	n := &s.nodes[e.idx]
-	fn := n.fn
-	n.fn = nil
+	fn, fnA, arg := n.fn, n.fnA, n.arg
+	n.fn, n.fnA, n.arg = nil, nil, nil
 	n.gen++
 	s.free = append(s.free, e.idx)
 	s.npending--
+	if fnA != nil {
+		fnA(arg)
+		return
+	}
 	fn()
 }
 
@@ -184,26 +239,68 @@ func (s *Sim) stepBatch() bool {
 			s.fire(e)
 			return true
 		}
+		s.noteDead()
 	}
 	return false
 }
 
-// startBatch pops every heap entry queued for instant t into the batch
-// buffer (one heap pop per event, no interleaved pushes) and advances
-// the clock to t. Events callbacks then schedule at t carry later
-// sequence numbers than everything popped here, so draining the batch
-// before the next heap look reproduces the one-at-a-time order exactly.
-// Callers must have drained the previous batch first.
-func (s *Sim) startBatch(t Time) {
-	s.batch = s.batch[:0]
+// advance consumes instant t: the caller verified the heap top is a
+// live entry at t. The overwhelmingly common case — a single event at
+// the instant — fires directly, bypassing the batch buffer; when
+// same-instant siblings exist they are all popped into the batch first
+// (one heap pop per event, no interleaved pushes) exactly as before,
+// and the caller's stepBatch loop drains them. Either way the
+// (when, seq) one-at-a-time order is reproduced exactly: callbacks
+// scheduling at t carry later sequence numbers than everything already
+// popped here.
+func (s *Sim) advance(t Time) {
+	e := s.pop()
+	s.now = t
+	if len(s.heap) == 0 || s.heap[0].when != t {
+		s.fire(e)
+		return
+	}
+	s.batch = append(s.batch[:0], e)
 	s.batchPos = 0
 	for len(s.heap) > 0 && s.heap[0].when == t {
-		e := s.pop()
-		if s.nodes[e.idx].gen == e.gen {
-			s.batch = append(s.batch, e)
+		e2 := s.pop()
+		if s.nodes[e2.idx].gen == e2.gen {
+			s.batch = append(s.batch, e2)
+		} else {
+			s.noteDead()
 		}
 	}
-	s.now = t
+}
+
+// noteDead records that a stale entry left the queue.
+func (s *Sim) noteDead() {
+	if s.ndead > 0 {
+		s.ndead--
+	}
+}
+
+// maybeCompact rebuilds the heap without its stale entries once they
+// (appear to) outnumber the live ones, so sift depth tracks the live
+// event count rather than the cancellation history. Compaction is
+// invisible to the simulation: the firing order is the (when, seq)
+// total order, which any valid heap over the same live entries yields.
+// Reports whether it compacted (the caller restarts its loop).
+func (s *Sim) maybeCompact() bool {
+	if s.ndead <= 64 || 2*s.ndead <= len(s.heap) {
+		return false
+	}
+	live := s.heap[:0]
+	for _, e := range s.heap {
+		if s.nodes[e.idx].gen == e.gen {
+			live = append(live, e)
+		}
+	}
+	s.heap = live
+	for i := (len(live) - 2) / 4; i >= 0 && len(live) > 1; i-- {
+		s.siftDown(i)
+	}
+	s.ndead = 0
+	return true
 }
 
 // Step fires the earliest pending event, advancing the clock to its
@@ -215,6 +312,7 @@ func (s *Sim) Step() bool {
 	for len(s.heap) > 0 {
 		e := s.pop()
 		if s.nodes[e.idx].gen != e.gen {
+			s.noteDead()
 			continue // stopped; slot already recycled
 		}
 		s.now = e.when
@@ -236,9 +334,13 @@ func (s *Sim) Run() {
 		top := s.heap[0]
 		if s.nodes[top.idx].gen != top.gen {
 			s.pop()
+			s.noteDead()
 			continue
 		}
-		s.startBatch(top.when)
+		if s.maybeCompact() {
+			continue
+		}
+		s.advance(top.when)
 	}
 }
 
@@ -259,12 +361,16 @@ func (s *Sim) RunUntil(end Time) {
 		top := s.heap[0]
 		if s.nodes[top.idx].gen != top.gen {
 			s.pop()
+			s.noteDead()
+			continue
+		}
+		if s.maybeCompact() {
 			continue
 		}
 		if top.when > end {
 			break
 		}
-		s.startBatch(top.when)
+		s.advance(top.when)
 	}
 	s.now = end
 }
@@ -305,35 +411,54 @@ func (s *Sim) pop() entry {
 	h := s.heap
 	top := h[0]
 	last := len(h) - 1
-	e := h[last]
-	h = h[:last]
-	s.heap = h
-	if last > 0 {
-		i := 0
-		for {
-			c := 4*i + 1
-			if c >= last {
-				break
+	h[0] = h[last]
+	s.heap = h[:last]
+	if last > 1 {
+		s.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores the heap property below i with hole moves (each
+// level is one entry copy, not a swap). Full four-child fan-outs find
+// their minimum with a pairwise tournament — two independent compare
+// chains instead of one serial scan. (when, seq) keys are unique, so
+// tie-break order between the variants can never matter.
+func (s *Sim) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		if c+4 <= n {
+			if less(h[c+1], h[m]) {
+				m = c + 1
 			}
-			m := c
-			hi := c + 4
-			if hi > last {
-				hi = last
+			m2 := c + 2
+			if less(h[c+3], h[m2]) {
+				m2 = c + 3
 			}
-			for j := c + 1; j < hi; j++ {
+			if less(h[m2], h[m]) {
+				m = m2
+			}
+		} else {
+			for j := c + 1; j < n; j++ {
 				if less(h[j], h[m]) {
 					m = j
 				}
 			}
-			if !less(h[m], e) {
-				break
-			}
-			h[i] = h[m]
-			i = m
 		}
-		h[i] = e
+		if !less(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
 	}
-	return top
+	h[i] = e
 }
 
 // Ticker fires a callback at a fixed interval until stopped.

@@ -319,3 +319,98 @@ func BenchmarkFreshSim(b *testing.B) {
 		s.Run()
 	}
 }
+
+func TestScheduleCallPassesArg(t *testing.T) {
+	s := New()
+	var got []any
+	record := func(v any) { got = append(got, v) }
+	s.ScheduleCall(2*time.Second, record, "b")
+	s.ScheduleCall(time.Second, record, 1)
+	s.AfterCall(3*time.Second, record, nil)
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != "b" || got[2] != nil {
+		t.Errorf("got = %v, want [1 b <nil>]", got)
+	}
+}
+
+func TestScheduleCallInterleavesWithSchedule(t *testing.T) {
+	// Typed-arg and plain events share one (instant, sequence) order,
+	// including same-instant FIFO across the two APIs.
+	s := New()
+	var order []int
+	record := func(v any) { order = append(order, v.(int)) }
+	s.Schedule(time.Second, func() { order = append(order, 0) })
+	s.ScheduleCall(time.Second, record, 1)
+	s.Schedule(time.Second, func() { order = append(order, 2) })
+	s.ScheduleCall(time.Second, record, 3)
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want [0 1 2 3]", order)
+		}
+	}
+}
+
+func TestScheduleCallStopAndRecycle(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.ScheduleCall(time.Second, func(any) { fired = true }, "payload")
+	if !e.Stop() {
+		t.Fatal("stop on pending typed-arg event should report true")
+	}
+	// The released slot must be clean for the next scheduling, whether
+	// it is typed or plain, and the stale handle must stay inert.
+	ran := 0
+	s.Schedule(time.Second, func() { ran++ })
+	s.ScheduleCall(2*time.Second, func(any) { ran++ }, nil)
+	if e.Stop() {
+		t.Error("stop on a recycled slot should be a no-op")
+	}
+	s.Run()
+	if fired || ran != 2 {
+		t.Errorf("fired=%v ran=%d, want false 2", fired, ran)
+	}
+}
+
+func TestScheduleCallNilPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil typed callback should panic")
+		}
+	}()
+	s.ScheduleCall(time.Second, nil, 7)
+}
+
+func TestScheduleCallPastPanics(t *testing.T) {
+	s := New()
+	s.RunUntil(10 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("typed scheduling in the past should panic")
+		}
+	}()
+	s.ScheduleCall(5*time.Second, func(any) {}, nil)
+}
+
+// BenchmarkScheduleCallAndRun is BenchmarkScheduleAndRun for the
+// typed-arg hot path: steady state must stay allocation-free even
+// though every event carries a distinct pointer argument.
+func BenchmarkScheduleCallAndRun(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	fn := func(any) {}
+	arg := &struct{ n int }{}
+	for j := 0; j < 1000; j++ {
+		s.ScheduleCall(Time(j), fn, arg)
+	}
+	s.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := s.Now()
+		for j := 0; j < 1000; j++ {
+			s.ScheduleCall(base+Time(j)*Time(time.Millisecond), fn, arg)
+		}
+		s.Run()
+	}
+}

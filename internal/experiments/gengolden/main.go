@@ -7,6 +7,7 @@ package main
 
 import (
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -25,4 +26,15 @@ func render(cfg experiments.DayConfig, path string) {
 func main() {
 	render(experiments.FibDay(2), "internal/experiments/testdata/fibday_seed2.golden")
 	render(experiments.VarDay(2), "internal/experiments/testdata/varday_seed2.golden")
+	renderAblation("internal/experiments/testdata/ablation_n256_h4_seed5.golden")
+}
+
+func renderAblation(path string) {
+	r := experiments.RunAblation(256, 4*time.Hour, 5)
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	r.Render(f)
 }

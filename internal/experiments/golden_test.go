@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestRunDayMatchesPreRefactorGolden pins the SupplyPolicy refactor to
@@ -49,4 +50,28 @@ func TestRunDayMatchesPreRefactorGolden(t *testing.T) {
 func withPolicy(cfg DayConfig, name string) DayConfig {
 	cfg.Policy = name
 	return cfg
+}
+
+// TestRunAblationMatchesPreRefactorGolden pins the allocation-free
+// request path to the closure-based pre-refactor behavior: the golden
+// was rendered before invocations, bus messages, and DES callbacks
+// were pooled, and the ablation (which exercises every hand-off code
+// path: drains, interrupts, and hard kills under load) must still
+// reproduce it byte for byte. Regenerate after an intentional behavior
+// change with `go run ./internal/experiments/gengolden`.
+func TestRunAblationMatchesPreRefactorGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "ablation_n256_h4_seed5.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunAblation(256, 4*time.Hour, 5)
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("ablation render diverged from the pre-refactor golden:\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
 }

@@ -163,3 +163,29 @@ func ExampleReplicate() {
 	fmt.Println(res.Metrics["parity"].N)
 	// Output: 4
 }
+
+// TestPooledRequestPathRaceUnderSweep drives the pooled allocation-free
+// request path (invocation + message free lists, typed-arg DES
+// callbacks) concurrently across sweep workers. Each replica owns its
+// own Sim/Bus/Controller, so pooling must introduce no shared state;
+// this test exists to fail under `go test -race` if it ever does. It
+// is deliberately small and not Short-guarded: the CI race gate runs
+// -short, and this is the pooled path's coverage there.
+func TestPooledRequestPathRaceUnderSweep(t *testing.T) {
+	run := func(seed int64) Metrics {
+		cfg := experiments.FibDay(seed)
+		cfg.Nodes = 64
+		cfg.Horizon = 20 * time.Minute
+		cfg.QPS = 2
+		cfg.NumActions = 5
+		return experiments.RunDay(cfg).Metrics()
+	}
+	res := Replicate(Config{Replicas: 4, Workers: runtime.GOMAXPROCS(0), BaseSeed: 9}, run)
+	if res.Replicas != 4 {
+		t.Fatalf("replicas = %d, want 4", res.Replicas)
+	}
+	inv := res.Metrics["invoked-share"]
+	if inv.N != 4 {
+		t.Fatalf("invoked-share aggregated %d replicas, want 4", inv.N)
+	}
+}

@@ -83,6 +83,14 @@ func (s Status) String() string {
 }
 
 // Invocation is one function call from submission to completion.
+//
+// Invocations may be pooled by their controller (see
+// ControllerConfig.PoolInvocations): lifetime is tracked by a reference
+// count covering pending request-path hops, queued bus messages, and
+// the executing invoker, and the last release recycles the object for
+// a later request. With pooling enabled, a pointer retained past the
+// done/OnComplete callback goes stale once traffic continues;
+// Generation detects such reuse.
 type Invocation struct {
 	ID     int64
 	Action *Action
@@ -101,7 +109,25 @@ type Invocation struct {
 	timeoutEv des.Event
 	execEv    des.Event // completion event while executing (for interrupts)
 	invoker   *Invoker
+
+	// Allocation-free request-path state. routeTarget carries the routing
+	// decision to the publish hop; execOK carries the execution outcome
+	// through the result hop; execStartAt is stamped into Executed when
+	// (and only when) the execution completes, matching the pre-pooling
+	// semantics where an interrupted attempt left no trace.
+	routeTarget *Invoker
+	execOK      bool
+	execStartAt des.Time
+
+	refs   int32  // live references; 0 = recyclable
+	gen    uint32 // increments on every recycle
+	pooled bool   // sitting in the controller free list
 }
+
+// Generation reports how many times the invocation's slot has been
+// recycled, letting holders of a retained pointer detect reuse under
+// pooling.
+func (inv *Invocation) Generation() uint32 { return inv.gen }
 
 // Latency returns the client-observed response time.
 func (inv *Invocation) Latency() time.Duration { return inv.Completed - inv.Submitted }

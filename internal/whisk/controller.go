@@ -26,6 +26,18 @@ type ControllerConfig struct {
 
 	// FastLaneName is the global priority topic of §III-C.
 	FastLaneName string
+
+	// PoolInvocations recycles completed Invocation objects through a
+	// controller-side free list, making the request path allocation-free
+	// in steady state (a paper day invokes 864k times). With pooling on,
+	// the *Invocation passed to done/OnComplete is only valid for the
+	// duration of the callback: the controller may hand the object to a
+	// later invocation once every reference (pending hops, queued
+	// messages, the executing invoker) has been released. Callers that
+	// retain invocation pointers across further traffic must leave
+	// pooling off (the default here; core.DefaultSystemConfig turns it
+	// on for the wired deployment, whose clients never retain).
+	PoolInvocations bool
 }
 
 // DefaultControllerConfig returns the calibrated request-path model.
@@ -46,17 +58,48 @@ func DefaultControllerConfig() ControllerConfig {
 // invocations to the home invoker derived from the action-name hash,
 // maintains the dynamic list of registered HPC-Whisk invokers, returns
 // 503 when none is healthy, and participates in the fast-lane hand-off.
+//
+// The request path ingress→route→publish→timeout→result→egress is
+// allocation-free per invocation: every hop is a typed-arg des event
+// (des.AfterCall) whose callback is a method value cached once at
+// construction and whose argument is the invocation itself, and the
+// per-hop latencies draw through cached dist.Samplers. Invocation
+// lifetime is reference-counted (pending hops + queued messages + the
+// executing invoker); when pooling is enabled the last release recycles
+// the object.
 type Controller struct {
 	sim *des.Sim
 	b   *bus.Bus
 	cfg ControllerConfig
 	rng *rand.Rand
 
-	actions  map[string]*Action
-	slots    []*Invoker // nil entries are free slots
+	// Cached per-hop latency samplers, all over rng (draw order on the
+	// shared stream is part of the pinned deterministic behavior).
+	ingress, egress, process, overhead, result dist.Sampler
+
+	// Cached request-path callbacks: one method value each, not one
+	// closure per hop per invocation.
+	routeFn, publishFn, timeoutFn, resultFn, egressFn, drainFn func(any)
+
+	actions map[string]*Action
+
+	// slots is the dynamic invoker list: index = slot id, nil = free.
+	// Trailing nils are compacted away on deregistration so a day of
+	// register/deregister churn doesn't leave HealthyCount, Utilization,
+	// and slot scans walking an ever-growing mostly-nil array. slotSpan
+	// is the high-water slot count and never shrinks: it is the modulus
+	// of the action-hash home-invoker mapping, and keeping it stable
+	// preserves each action's home assignment (and warm-container
+	// affinity) across churn instead of reshuffling every action
+	// whenever the tail empties. (It also pins the routing sequence the
+	// simulation goldens were recorded under.)
+	slots    []*Invoker
+	slotSpan int
+
 	fastLane *bus.Topic
 
 	nextInvID int64
+	invPool   []*Invocation
 
 	// OnComplete observes every finished invocation (for load
 	// generators and experiment accounting).
@@ -82,6 +125,17 @@ func NewController(sim *des.Sim, b *bus.Bus, cfg ControllerConfig, seed int64) *
 		rng:     dist.NewRand(seed),
 		actions: map[string]*Action{},
 	}
+	c.ingress = dist.NewSampler(cfg.IngressSeconds, c.rng)
+	c.egress = dist.NewSampler(cfg.EgressSeconds, c.rng)
+	c.process = dist.NewSampler(cfg.ProcessSeconds, c.rng)
+	c.overhead = dist.NewSampler(cfg.OverheadSeconds, c.rng)
+	c.result = dist.NewSampler(cfg.ResultSeconds, c.rng)
+	c.routeFn = c.routeCb
+	c.publishFn = c.publishCb
+	c.timeoutFn = c.timeoutCb
+	c.resultFn = c.resultCb
+	c.egressFn = c.egressCb
+	c.drainFn = c.drainCb
 	c.fastLane = b.Topic(cfg.FastLaneName)
 	return c
 }
@@ -135,25 +189,66 @@ func (c *Controller) Utilization() float64 {
 	return float64(busy) / float64(capacity)
 }
 
+// retain adds one reference to the invocation: a pending request-path
+// hop, a queued bus message, or the executing invoker's running list.
+func (c *Controller) retain(inv *Invocation) { inv.refs++ }
+
+// release drops one reference. The last release returns the object to
+// the pool (when pooling is on); retain/release imbalances panic loudly
+// because a miscount would hand a live invocation to a new request.
+func (c *Controller) release(inv *Invocation) {
+	inv.refs--
+	if inv.refs > 0 {
+		return
+	}
+	if inv.refs < 0 || inv.pooled {
+		panic("whisk: invocation reference underflow")
+	}
+	if c.cfg.PoolInvocations {
+		*inv = Invocation{gen: inv.gen + 1, pooled: true}
+		c.invPool = append(c.invPool, inv)
+	}
+}
+
+// getInvocation pops the free list or allocates.
+func (c *Controller) getInvocation() *Invocation {
+	if k := len(c.invPool); k > 0 {
+		inv := c.invPool[k-1]
+		c.invPool[k-1] = nil
+		c.invPool = c.invPool[:k-1]
+		inv.pooled = false
+		return inv
+	}
+	return &Invocation{}
+}
+
 // Invoke submits a call to the named action; done fires exactly once
-// with the final status. It returns the tracked invocation.
+// with the final status. It returns the tracked invocation (valid only
+// until it completes when pooling is enabled — see PoolInvocations).
 func (c *Controller) Invoke(name string, done func(*Invocation)) *Invocation {
 	a, ok := c.actions[name]
 	if !ok {
 		panic(fmt.Sprintf("whisk: unknown action %q", name))
 	}
-	inv := &Invocation{
-		ID:        c.nextInvID,
-		Action:    a,
-		Submitted: c.sim.Now(),
-		InvokerID: -1,
-		done:      done,
-	}
+	inv := c.getInvocation()
+	inv.ID = c.nextInvID
+	inv.Action = a
+	inv.Submitted = c.sim.Now()
+	inv.InvokerID = -1
+	inv.done = done
 	c.nextInvID++
 	c.Total++
-	ingress := dist.Seconds(c.cfg.IngressSeconds, c.rng) + dist.Seconds(c.cfg.ProcessSeconds, c.rng)
-	c.sim.After(ingress, func() { c.route(inv) })
+	ingress := c.ingress.Seconds() + c.process.Seconds()
+	c.retain(inv)
+	c.sim.AfterCall(ingress, c.routeFn, inv)
 	return inv
+}
+
+// routeCb is the ingress hop's typed-arg callback.
+func (c *Controller) routeCb(v any) {
+	inv := v.(*Invocation)
+	c.route(inv)
+	c.release(inv)
 }
 
 // route picks the home invoker (hash + forward probing over the slot
@@ -167,27 +262,48 @@ func (c *Controller) route(inv *Invocation) {
 	}
 	// Activation bookkeeping (the dominant fixed cost of the request
 	// path), then the message lands on the invoker's topic.
-	overhead := dist.Seconds(c.cfg.OverheadSeconds, c.rng)
-	c.sim.After(overhead, func() {
-		c.b.Publish(target.TopicName(), inv)
-		c.armTimeout(inv)
-	})
+	overhead := c.overhead.Seconds()
+	inv.routeTarget = target
+	c.retain(inv)
+	c.sim.AfterCall(overhead, c.publishFn, inv)
+}
+
+// publishCb lands the invocation on the routed invoker's topic and
+// arms the client-visible timeout. The topic was captured at routing
+// time, so publishing costs no name lookup (and still reaches the
+// topic if the invoker deregistered in between, exactly as the
+// name-based publish did: topics outlive their invokers).
+func (c *Controller) publishCb(v any) {
+	inv := v.(*Invocation)
+	target := inv.routeTarget
+	inv.routeTarget = nil
+	c.retain(inv) // the queued message's reference
+	c.b.PublishTo(target.topic, inv)
+	c.armTimeout(inv)
+	c.release(inv)
 }
 
 // pickInvoker routes to the action's home invoker (hash + forward
-// probing over the slot array). If the home invoker is saturated (its
-// buffer has less than half its limit free), the probe continues to a
-// less-loaded healthy invoker — the load-balancing role of §II — and
-// falls back to the home invoker when every candidate is saturated.
+// probing). If the home invoker is saturated (its buffer has less than
+// half its limit free), the probe continues to a less-loaded healthy
+// invoker — the load-balancing role of §II — and falls back to the
+// home invoker when every candidate is saturated. The probe runs over
+// the stable slotSpan (see the field comment); virtual slots past the
+// compacted array are skipped for free.
 func (c *Controller) pickInvoker(a *Action) *Invoker {
-	n := len(c.slots)
+	n := c.slotSpan
 	if n == 0 {
 		return nil
 	}
 	start := int(a.hash()) % n
+	live := len(c.slots)
 	var home *Invoker
 	for i := 0; i < n; i++ {
-		inv := c.slots[(start+i)%n]
+		idx := (start + i) % n
+		if idx >= live {
+			continue
+		}
+		inv := c.slots[idx]
 		if inv == nil || inv.state != InvokerHealthy {
 			continue
 		}
@@ -202,22 +318,35 @@ func (c *Controller) pickInvoker(a *Action) *Invoker {
 }
 
 func (c *Controller) armTimeout(inv *Invocation) {
-	inv.timeoutEv = c.sim.After(c.cfg.ActionTimeout, func() {
-		c.complete(inv, StatusTimeout)
-	})
+	c.retain(inv)
+	inv.timeoutEv = c.sim.AfterCall(c.cfg.ActionTimeout, c.timeoutFn, inv)
+}
+
+// timeoutCb fires when the client-visible timeout expires first.
+func (c *Controller) timeoutCb(v any) {
+	inv := v.(*Invocation)
+	c.complete(inv, StatusTimeout)
+	c.release(inv)
 }
 
 // finishFromInvoker is called by invokers on execution completion; the
 // result travels back through the result hop before the client sees it.
 func (c *Controller) finishFromInvoker(inv *Invocation, ok bool) {
-	d := dist.Seconds(c.cfg.ResultSeconds, c.rng)
-	c.sim.After(d, func() {
-		if ok {
-			c.complete(inv, StatusSuccess)
-		} else {
-			c.complete(inv, StatusFailed)
-		}
-	})
+	d := c.result.Seconds()
+	inv.execOK = ok
+	c.retain(inv)
+	c.sim.AfterCall(d, c.resultFn, inv)
+}
+
+// resultCb is the invoker→controller result hop.
+func (c *Controller) resultCb(v any) {
+	inv := v.(*Invocation)
+	if inv.execOK {
+		c.complete(inv, StatusSuccess)
+	} else {
+		c.complete(inv, StatusFailed)
+	}
+	c.release(inv)
 }
 
 // complete finalizes an invocation exactly once.
@@ -225,28 +354,37 @@ func (c *Controller) complete(inv *Invocation, status Status) {
 	if inv.Status != StatusPending {
 		return
 	}
-	inv.timeoutEv.Stop()
+	if inv.timeoutEv.Stop() {
+		c.release(inv) // the canceled timeout event's reference
+	}
 	inv.Status = status
-	egress := dist.Seconds(c.cfg.EgressSeconds, c.rng)
-	c.sim.After(egress, func() {
-		inv.Completed = c.sim.Now()
-		switch status {
-		case Status503:
-			c.N503++
-		case StatusSuccess:
-			c.NSuccess++
-		case StatusFailed:
-			c.NFailed++
-		case StatusTimeout:
-			c.NTimeout++
-		}
-		if c.OnComplete != nil {
-			c.OnComplete(inv)
-		}
-		if inv.done != nil {
-			inv.done(inv)
-		}
-	})
+	egress := c.egress.Seconds()
+	c.retain(inv)
+	c.sim.AfterCall(egress, c.egressFn, inv)
+}
+
+// egressCb delivers the outcome to the client and drops the last
+// controller-side reference.
+func (c *Controller) egressCb(v any) {
+	inv := v.(*Invocation)
+	inv.Completed = c.sim.Now()
+	switch inv.Status {
+	case Status503:
+		c.N503++
+	case StatusSuccess:
+		c.NSuccess++
+	case StatusFailed:
+		c.NFailed++
+	case StatusTimeout:
+		c.NTimeout++
+	}
+	if c.OnComplete != nil {
+		c.OnComplete(inv)
+	}
+	if inv.done != nil {
+		inv.done(inv)
+	}
+	c.release(inv)
 }
 
 // Register adds an invoker to the dynamic slot list (lowest free slot,
@@ -265,6 +403,9 @@ func (c *Controller) Register(inv *Invoker) int {
 		c.slots = append(c.slots, nil)
 	}
 	c.slots[slot] = inv
+	if slot+1 > c.slotSpan {
+		c.slotSpan = slot + 1
+	}
 	inv.attach(c, slot)
 	c.Registers++
 	return slot
@@ -276,20 +417,38 @@ func (c *Controller) Register(inv *Invoker) int {
 // moves all the unpulled requests from the worker's Kafka topic to the
 // fast lane topic").
 func (c *Controller) SetDraining(inv *Invoker) {
-	c.sim.After(c.cfg.StatusLatency, func() {
-		c.MovedToFL += inv.topic.MoveAll(c.fastLane)
-	})
+	c.sim.AfterCall(c.cfg.StatusLatency, c.drainFn, inv)
+}
+
+// drainCb is the delayed controller-side hand-off of SetDraining.
+func (c *Controller) drainCb(v any) {
+	inv := v.(*Invoker)
+	c.MovedToFL += inv.topic.MoveAll(c.fastLane)
+}
+
+// clearSlot frees the invoker's slot, stopping at the first match, and
+// compacts trailing free slots so churn doesn't grow the array without
+// bound. (slotSpan deliberately keeps the high-water mark — see the
+// field comment.)
+func (c *Controller) clearSlot(inv *Invoker) {
+	for i, s := range c.slots {
+		if s == inv {
+			c.slots[i] = nil
+			break
+		}
+	}
+	n := len(c.slots)
+	for n > 0 && c.slots[n-1] == nil {
+		n--
+	}
+	c.slots = c.slots[:n]
 }
 
 // Deregister removes an invoker from the slot list. Any stragglers left
 // on its topic move to the fast lane first.
 func (c *Controller) Deregister(inv *Invoker) {
 	c.MovedToFL += inv.topic.MoveAll(c.fastLane)
-	for i, s := range c.slots {
-		if s == inv {
-			c.slots[i] = nil
-		}
-	}
+	c.clearSlot(inv)
 	c.Removes++
 }
 
@@ -298,11 +457,7 @@ func (c *Controller) Deregister(inv *Invoker) {
 // never processed and time out (§II). Used by Invoker.Kill for the
 // no-hand-off ablation.
 func (c *Controller) DeregisterLossy(inv *Invoker) {
-	for i, s := range c.slots {
-		if s == inv {
-			c.slots[i] = nil
-		}
-	}
+	c.clearSlot(inv)
 	c.Removes++
 }
 

@@ -83,9 +83,19 @@ func DefaultInvokerConfig() InvokerConfig {
 // Invoker executes invocations on one node. It pulls the global fast
 // lane before its own topic, keeps per-action warm containers, and
 // implements the hand-off protocol when its pilot job gets SIGTERM.
+//
+// The dispatch/execute loop is allocation-free in steady state: polls
+// pull straight into the reusable buffer (bus.PullAppend), consumed
+// messages recycle to the bus pool, execution completion is a typed-arg
+// des event on a cached method value, and the start latencies draw
+// through cached samplers.
 type Invoker struct {
 	cfg InvokerConfig
 	rng *rand.Rand
+
+	cold, warm dist.Sampler // container start latencies over rng
+
+	execDoneFn func(any) // cached method value for execution completion
 
 	ctrl  *Controller
 	slot  int
@@ -95,8 +105,12 @@ type Invoker struct {
 	buffer  []*bus.Message
 	running []*Invocation // insertion order (determinism matters)
 
+	rejectBuf []*bus.Message  // scratch for the over-pressure drop path
+	oneMsg    [1]*bus.Message // scratch for single-message requeues
+
 	pool       map[string]*containerSet
-	containers int // total containers (idle + busy)
+	poolList   []*containerSet // dense view of pool for LRU scans (sets are never removed)
+	containers int             // total containers (idle + busy)
 
 	ticker *des.Ticker
 
@@ -112,6 +126,7 @@ type Invoker struct {
 }
 
 type containerSet struct {
+	name     string
 	idle     int
 	busy     int
 	lastUsed des.Time
@@ -123,13 +138,17 @@ func NewInvoker(cfg InvokerConfig, seed int64) *Invoker {
 	if cfg.Capacity <= 0 {
 		panic("whisk: invoker needs capacity")
 	}
-	return &Invoker{
+	w := &Invoker{
 		cfg:   cfg,
 		rng:   dist.NewRand(seed),
 		slot:  -1,
 		state: InvokerGone,
 		pool:  map[string]*containerSet{},
 	}
+	w.cold = dist.NewSampler(cfg.ColdStartSeconds, w.rng)
+	w.warm = dist.NewSampler(cfg.WarmStartSeconds, w.rng)
+	w.execDoneFn = w.execDone
+	return w
 }
 
 // attach is called by Controller.Register.
@@ -163,25 +182,37 @@ func (w *Invoker) poll() {
 	if w.state != InvokerHealthy {
 		return
 	}
+	// Idle-tick fast path: nothing queued anywhere, nothing buffered —
+	// the common case for most of the ~10 polls/s each invoker performs
+	// all day. Pulling, the pressure check, and dispatch would all
+	// no-op.
+	if len(w.buffer) == 0 && w.ctrl.fastLane.Len() == 0 && w.topic.Len() == 0 {
+		return
+	}
 	room := w.cfg.BufferLimit - len(w.buffer)
 	batch := w.cfg.PullBatch
 	if batch > room {
 		batch = room
 	}
 	if batch > 0 {
-		msgs := w.ctrl.fastLane.Pull(batch)
-		if len(msgs) < batch {
-			msgs = append(msgs, w.topic.Pull(batch-len(msgs))...)
+		before := len(w.buffer)
+		w.buffer = w.ctrl.fastLane.PullAppend(w.buffer, batch)
+		if got := len(w.buffer) - before; got < batch {
+			w.buffer = w.topic.PullAppend(w.buffer, batch-got)
 		}
-		w.buffer = append(w.buffer, msgs...)
 	}
 	// Container-limit pressure: drop what cannot even be buffered.
 	if room <= 0 {
-		for _, m := range w.topic.Pull(w.cfg.PullBatch) {
+		w.rejectBuf = w.topic.PullAppend(w.rejectBuf[:0], w.cfg.PullBatch)
+		for i, m := range w.rejectBuf {
 			inv := m.Payload.(*Invocation)
+			w.ctrl.b.Recycle(m)
+			w.rejectBuf[i] = nil
 			w.Rejected++
 			w.ctrl.finishFromInvoker(inv, false)
+			w.ctrl.release(inv) // the dropped message's reference
 		}
+		w.rejectBuf = w.rejectBuf[:0]
 	}
 	w.dispatch()
 }
@@ -193,9 +224,14 @@ func (w *Invoker) dispatch() {
 		w.buffer[len(w.buffer)-1] = nil
 		w.buffer = w.buffer[:len(w.buffer)-1]
 		inv := m.Payload.(*Invocation)
+		w.ctrl.b.Recycle(m)
 		if inv.Status != StatusPending {
-			continue // already timed out at the controller
+			// Already timed out at the controller; dropping the message
+			// reference may recycle the invocation.
+			w.ctrl.release(inv)
+			continue
 		}
+		// The message's reference transfers to the running list.
 		w.execute(inv)
 	}
 }
@@ -211,23 +247,31 @@ func (w *Invoker) execute(inv *Invocation) {
 
 	body := inv.Action.Exec(w.rng)
 	total := start.delay + body
-	inv.execEv = sim.After(total, func() {
-		inv.Executed = sim.Now() - body // execution body began after startup
-		w.removeRunning(inv)
-		w.releaseContainer(inv.Action)
-		ok := w.rng.Float64() >= w.cfg.FailureProb
-		if ok {
-			w.Executed++
-		} else {
-			w.Failed++
-		}
-		w.ctrl.finishFromInvoker(inv, ok)
-		if w.state == InvokerHealthy {
-			w.dispatch()
-		} else {
-			w.maybeDrained()
-		}
-	})
+	inv.execStartAt = sim.Now() + start.delay // execution body begins after startup
+	w.ctrl.retain(inv)                        // the completion event
+	inv.execEv = sim.AfterCall(total, w.execDoneFn, inv)
+}
+
+// execDone is the typed-arg completion callback of every execution.
+func (w *Invoker) execDone(v any) {
+	inv := v.(*Invocation)
+	inv.Executed = inv.execStartAt
+	w.removeRunning(inv)
+	w.ctrl.release(inv) // the running list's reference
+	w.releaseContainer(inv.Action)
+	ok := w.rng.Float64() >= w.cfg.FailureProb
+	if ok {
+		w.Executed++
+	} else {
+		w.Failed++
+	}
+	w.ctrl.finishFromInvoker(inv, ok)
+	w.ctrl.release(inv) // this event's reference
+	if w.state == InvokerHealthy {
+		w.dispatch()
+	} else {
+		w.maybeDrained()
+	}
 }
 
 type containerStart struct {
@@ -240,15 +284,16 @@ func (w *Invoker) acquireContainer(inv *Invocation) containerStart {
 	now := w.ctrl.sim.Now()
 	cs := w.pool[inv.Action.Name]
 	if cs == nil {
-		cs = &containerSet{}
+		cs = &containerSet{name: inv.Action.Name}
 		w.pool[inv.Action.Name] = cs
+		w.poolList = append(w.poolList, cs)
 	}
 	cs.lastUsed = now
 	if cs.idle > 0 {
 		cs.idle--
 		cs.busy++
 		w.WarmStarts++
-		return containerStart{cold: false, delay: dist.Seconds(w.cfg.WarmStartSeconds, w.rng)}
+		return containerStart{cold: false, delay: w.warm.Seconds()}
 	}
 	// Need a new container; evict an idle one if the pool is full.
 	if w.containers >= w.cfg.PoolLimit {
@@ -257,7 +302,7 @@ func (w *Invoker) acquireContainer(inv *Invocation) containerStart {
 	w.containers++
 	cs.busy++
 	w.ColdStarts++
-	return containerStart{cold: true, delay: dist.Seconds(w.cfg.ColdStartSeconds, w.rng)}
+	return containerStart{cold: true, delay: w.cold.Seconds()}
 }
 
 func (w *Invoker) releaseContainer(a *Action) {
@@ -269,17 +314,20 @@ func (w *Invoker) releaseContainer(a *Action) {
 	cs.idle++
 }
 
+// evictLRUIdle drops the least-recently-used idle container. The scan
+// runs over the dense poolList rather than the pool map: the victim is
+// the minimum under the total order (lastUsed, name), which is
+// independent of visit order, so the cheaper slice walk picks exactly
+// the container the map iteration used to.
 func (w *Invoker) evictLRUIdle() {
 	var victim *containerSet
-	var victimName string
-	for name, cs := range w.pool {
+	for _, cs := range w.poolList {
 		if cs.idle == 0 {
 			continue
 		}
 		if victim == nil || cs.lastUsed < victim.lastUsed ||
-			(cs.lastUsed == victim.lastUsed && name < victimName) {
+			(cs.lastUsed == victim.lastUsed && cs.name < victim.name) {
 			victim = cs
-			victimName = name
 		}
 	}
 	if victim != nil {
@@ -327,14 +375,26 @@ func (w *Invoker) Sigterm(interruptRunning bool, onDrained func()) {
 			if !inv.Action.Interruptible {
 				continue
 			}
-			inv.execEv.Stop()
+			if inv.execEv.Stop() {
+				w.ctrl.release(inv) // the canceled completion event
+			}
 			w.removeRunning(inv)
 			w.releaseContainer(inv.Action)
 			inv.Requeues++
 			inv.invoker = nil
 			w.Requeued++
-			m := &bus.Message{Payload: inv, TopicName: w.ctrl.fastLane.Name()}
-			w.ctrl.requeueFastLane([]*bus.Message{m})
+			// Retain for the new fast-lane message BEFORE dropping the
+			// running list's reference: an interruptible execution whose
+			// client timeout already completed holds no other reference,
+			// and releasing first would recycle the object mid-loop. The
+			// dead message still travels the fast lane exactly as it
+			// always did (occupying pull quota until dispatch skips it),
+			// and its consumer's release recycles the invocation then.
+			w.ctrl.retain(inv)
+			w.ctrl.release(inv) // the running list's reference
+			w.oneMsg[0] = w.ctrl.b.Wrap(inv)
+			w.ctrl.requeueFastLane(w.oneMsg[:1])
+			w.oneMsg[0] = nil
 		}
 	}
 	w.maybeDrained()
@@ -371,9 +431,17 @@ func (w *Invoker) Kill() {
 		w.ticker.Stop()
 	}
 	for _, inv := range w.running {
-		inv.execEv.Stop()
+		if inv.execEv.Stop() {
+			w.ctrl.release(inv) // the canceled completion event
+		}
+		w.ctrl.release(inv) // the running list's reference
 	}
 	w.running = nil
+	for _, m := range w.buffer {
+		inv := m.Payload.(*Invocation)
+		w.ctrl.b.Recycle(m)
+		w.ctrl.release(inv) // the dropped message's reference
+	}
 	w.buffer = nil
 	w.state = InvokerGone
 	// A killed worker cannot hand anything off: its topic messages rot
