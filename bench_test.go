@@ -223,6 +223,28 @@ func BenchmarkEndogenousScheduler(b *testing.B) {
 	b.ReportMetric(100*r.PilotCoverage, "pilot-coverage-%")
 }
 
+// BenchmarkFederatedDay runs the cluster-of-clusters experiment: 4
+// heterogeneous sites × 256 nodes behind the routing front door at
+// 100 QPS. The horizon is compressed to 2 hours (720k requests) so
+// the CI allocation ratchet stays fast; per request the door adds no
+// allocations on top of the pooled whisk path Fig 5b/6b gate, so the
+// ratchet catches any regression in either layer.
+func BenchmarkFederatedDay(b *testing.B) {
+	b.ReportAllocs()
+	var r experiments.FederatedResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFederatedConfig(1)
+		cfg.Horizon = 2 * time.Hour
+		cfg.Routing = []string{"capacity-weighted"}
+		r = experiments.RunFederated(cfg)
+	}
+	run := r.Runs[0]
+	b.ReportMetric(100*run.Load.SuccessShare, "success-%")
+	b.ReportMetric(100*run.SpillShare(), "spill-%")
+	b.ReportMetric(float64(run.P95.Milliseconds()), "p95-ms")
+	b.ReportMetric(run.GlobalHealthyAvg, "healthy-avg")
+}
+
 // BenchmarkRequestPath measures one invocation end to end through the
 // pooled whisk request path: ingress → route → publish → pull →
 // execute → result → egress on a single registered invoker, including

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	sys := hpcwhisk.New(hpcwhisk.DefaultConfig(16, hpcwhisk.ModeFib))
+	sys := hpcwhisk.New(hpcwhisk.DefaultConfig(16, "fib"))
 
 	// A flapping availability trace: a few idle windows separated by
 	// total saturation.

@@ -12,7 +12,7 @@ import (
 
 func main() {
 	// A 64-node cluster running the fib supply model.
-	sys := hpcwhisk.New(hpcwhisk.DefaultConfig(64, hpcwhisk.ModeFib))
+	sys := hpcwhisk.New(hpcwhisk.DefaultConfig(64, "fib"))
 
 	// Two hours of calibrated idle-availability (≈6 idle nodes at a
 	// time, 2-minute median windows).

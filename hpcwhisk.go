@@ -34,6 +34,7 @@ import (
 	"repro/internal/lambda"
 	"repro/internal/loadgen"
 	"repro/internal/policy"
+	"repro/internal/router"
 	"repro/internal/scenario"
 	"repro/internal/sebs"
 	"repro/internal/slurm"
@@ -136,13 +137,85 @@ type System = core.System
 type SystemConfig = core.SystemConfig
 
 // DefaultConfig returns the paper's deployment configuration for a
-// cluster size and supply mode.
-func DefaultConfig(nodes int, mode Mode) SystemConfig {
-	return core.DefaultSystemConfig(nodes, mode)
+// cluster size and supply policy (a policy-registry name, e.g. "fib"
+// or "var"; unknown names panic — validate with NewPolicy first when
+// the name comes from user input).
+func DefaultConfig(nodes int, policyName string) SystemConfig {
+	return core.DefaultSystemConfig(nodes, policyName)
+}
+
+// DefaultConfigMode returns the paper's deployment configuration for a
+// legacy supply mode.
+//
+// Deprecated: call DefaultConfig with the policy's registry name
+// ("fib" or "var") instead.
+func DefaultConfigMode(nodes int, mode Mode) SystemConfig {
+	return core.DefaultSystemConfigMode(nodes, mode)
 }
 
 // New builds a deployment.
 func New(cfg SystemConfig) *System { return core.NewSystem(cfg) }
+
+// Federation layer: N independent Slurm+whisk sites share one virtual
+// clock behind a routing front door, so a single simulation models a
+// cluster-of-clusters. Routing policies live in their own registry,
+// mirroring the supply-policy one.
+
+// Site is one deployment inside a federation (a System owns exactly
+// one plus its clock).
+type Site = core.Site
+
+// SiteConfig configures one federated site; it is the same type as
+// SystemConfig.
+type SiteConfig = core.SiteConfig
+
+// Federation hosts N sites behind the routing front door.
+type Federation = core.Federation
+
+// FederationConfig wires the sites, names the routing policy, and
+// optionally adds the Alg. 1 commercial-cloud fallback.
+type FederationConfig = core.FederationConfig
+
+// NewFederation builds a federation on a fresh virtual clock.
+func NewFederation(cfg FederationConfig) *Federation { return core.NewFederation(cfg) }
+
+// UniformFederationConfig derives an n-site federation of identical
+// deployments from one base config, with per-site seeds decorrelated
+// so growing the federation never perturbs existing sites.
+func UniformFederationConfig(n int, base SiteConfig) FederationConfig {
+	return core.UniformFederationConfig(n, base)
+}
+
+// FrontDoor is the federation's client entry point: per-action home
+// sites plus a routing policy over the live per-site health view.
+type FrontDoor = router.FrontDoor
+
+// RoutingPolicy picks a target site per request from the health view.
+type RoutingPolicy = router.RoutingPolicy
+
+// RouterView is the per-site health view a routing policy observes.
+type RouterView = router.View
+
+// NoSite is the sentinel a routing policy returns when no site can
+// take the request (the front door then surfaces a real 503, which
+// the Alg. 1 wrapper can off-load).
+const NoSite = router.NoSite
+
+// RoutingPolicyNames lists the registered routing policies
+// ("capacity-weighted", "fast-lane-aware", "latency-weighted",
+// "spill-over", plus anything the embedding program registered).
+func RoutingPolicyNames() []string { return router.Names() }
+
+// NewRoutingPolicy builds a fresh routing policy by registry name.
+func NewRoutingPolicy(name string) (RoutingPolicy, error) { return router.New(name) }
+
+// RegisterRoutingPolicy adds a custom routing policy to the registry,
+// making it available to FederationConfig.Routing and the
+// federated-day scenario's routing option. See examples/federation for
+// a worked custom policy.
+func RegisterRoutingPolicy(name string, factory func() RoutingPolicy) {
+	router.Register(name, factory)
+}
 
 // Trace is a whole-cluster idle-availability trace.
 type Trace = workload.Trace

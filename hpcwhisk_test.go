@@ -13,7 +13,7 @@ import (
 // downstream user would.
 
 func TestFacadeDeployAndInvoke(t *testing.T) {
-	sys := New(DefaultConfig(32, ModeFib))
+	sys := New(DefaultConfig(32, "fib"))
 	cfg := DefaultTraceConfig(32, time.Hour, 5)
 	cfg.MeanIdleNodes = 4
 	sys.LoadTrace(cfg.Generate())
@@ -91,7 +91,7 @@ func TestFacadeJobs(t *testing.T) {
 }
 
 func TestFacadeWrapperWithLambdaFallback(t *testing.T) {
-	sys := New(DefaultConfig(8, ModeFib))
+	sys := New(DefaultConfig(8, "fib"))
 	sys.LoadTrace(&Trace{Nodes: 8, Horizon: time.Hour}) // starved cluster
 	sys.Ctrl.RegisterAction(&Action{Name: "g", Exec: FixedExec(time.Millisecond)})
 	fb := NewLambdaClient(sys, 9)
@@ -140,7 +140,7 @@ func TestFacadeSeBS(t *testing.T) {
 }
 
 func TestFacadeLoadGenerator(t *testing.T) {
-	sys := New(DefaultConfig(16, ModeFib))
+	sys := New(DefaultConfig(16, "fib"))
 	cfg := DefaultTraceConfig(16, 30*time.Minute, 17)
 	cfg.MeanIdleNodes = 4
 	sys.LoadTrace(cfg.Generate())
@@ -177,6 +177,7 @@ func TestFacadeScenarioCatalog(t *testing.T) {
 		"fib-day", "var-day", // Tables II/III, Figs. 5/6
 		"fig1", "fig2", "fig3", "fig7", "table1", // the analysis artifacts
 		"ablation", "policy-comparison", "scientific", "endogenous", // beyond-paper
+		"federated-day", // the cluster-of-clusters comparison
 	}
 	have := map[string]bool{}
 	for _, sp := range Scenarios() {
@@ -210,6 +211,92 @@ func TestFacadeRunScenario(t *testing.T) {
 	if _, ok := res.Unwrap().(experiments.Fig3Result); !ok {
 		t.Errorf("Unwrap() = %T, want experiments.Fig3Result", res.Unwrap())
 	}
+}
+
+// TestFacadeFederation drives a federation end to end through the
+// facade: a uniform multi-site config, a custom registered routing
+// policy, skewed traces, and the front-door counters a downstream
+// user would read.
+func TestFacadeFederation(t *testing.T) {
+	RegisterRoutingPolicy("facade-test-home-or-any", func() RoutingPolicy {
+		return homeOrAny{}
+	})
+
+	base := DefaultConfig(16, "fib")
+	base.Seed = 21
+	cfg := UniformFederationConfig(3, base)
+	cfg.Routing = "facade-test-home-or-any"
+	fed := NewFederation(cfg)
+
+	for i := range fed.Sites {
+		tr := DefaultTraceConfig(16, time.Hour, int64(30+i))
+		tr.MeanIdleNodes = 4
+		if i == 2 {
+			fed.LoadTrace(i, &Trace{Nodes: 16, Horizon: time.Hour}) // starved site
+			continue
+		}
+		fed.LoadTrace(i, tr.Generate())
+	}
+	fed.RegisterAction(&Action{
+		Name: "f", MemoryMB: 128, Exec: FixedExec(5 * time.Millisecond), Interruptible: true,
+	})
+
+	ok := 0
+	tick := fed.Sim.Every(5*time.Second, func() {
+		fed.Invoke("f", func(inv *Invocation) {
+			if inv.Status == StatusSuccess {
+				ok++
+			}
+		})
+	})
+	fed.Start()
+	fed.Run(time.Hour)
+	tick.Stop()
+	fed.Run(time.Minute)
+
+	if ok == 0 {
+		t.Fatal("no successful invocation through the federated facade")
+	}
+	if got := fed.Door.Issued; got != 720 {
+		t.Errorf("door issued %d, want 720", got)
+	}
+	var perSite int
+	for _, n := range fed.Door.IssuedBySite {
+		perSite += n
+	}
+	if perSite != fed.Door.Issued {
+		t.Errorf("per-site issued %d != door issued %d", perSite, fed.Door.Issued)
+	}
+	found := false
+	for _, name := range RoutingPolicyNames() {
+		if name == "facade-test-home-or-any" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("custom routing policy missing from RoutingPolicyNames")
+	}
+	if _, err := NewRoutingPolicy("no-such-routing"); err == nil {
+		t.Error("NewRoutingPolicy accepted an unknown name")
+	}
+}
+
+// homeOrAny is the test's custom routing policy: home if healthy, else
+// the first healthy site, else NoSite.
+type homeOrAny struct{}
+
+func (homeOrAny) Name() string { return "facade-test-home-or-any" }
+func (homeOrAny) Init(int)     {}
+func (homeOrAny) Pick(v RouterView, action string, home int) int {
+	if v.Healthy(home) {
+		return home
+	}
+	for i := 0; i < v.NumSites(); i++ {
+		if v.Healthy(i) {
+			return i
+		}
+	}
+	return NoSite
 }
 
 // TestFacadeScenarioCancellation cancels a day mid-run through the

@@ -17,7 +17,7 @@ func smallTrace(nodes int, horizon time.Duration, seed int64, meanIdle float64) 
 }
 
 func newFibSystem(nodes int, mode Mode, seed int64) *System {
-	cfg := DefaultSystemConfig(nodes, mode)
+	cfg := DefaultSystemConfig(nodes, mode.String())
 	cfg.Seed = seed
 	return NewSystem(cfg)
 }
@@ -143,7 +143,7 @@ func TestGracefulHandoffPreservesWork(t *testing.T) {
 }
 
 func TestUngracefulAblationLosesWork(t *testing.T) {
-	cfg := DefaultSystemConfig(4, ModeFib)
+	cfg := DefaultSystemConfig(4, "fib")
 	cfg.Seed = 5
 	cfg.Manager.GracefulHandoff = false
 	s := NewSystem(cfg)

@@ -28,7 +28,7 @@ func TestSystemInvariants(t *testing.T) {
 			if seed%2 == 1 {
 				mode = ModeVar
 			}
-			cfg := DefaultSystemConfig(32, mode)
+			cfg := DefaultSystemConfig(32, mode.String())
 			cfg.Seed = seed
 			s := NewSystem(cfg)
 			trCfg := workload.DefaultIdleProcess(32, 3*time.Hour, seed+1)

@@ -104,10 +104,15 @@ type ManagerConfig struct {
 	Seed    int64
 }
 
-// DefaultManagerConfig returns the paper's configuration for a mode.
-func DefaultManagerConfig(mode Mode) ManagerConfig {
+// DefaultManagerConfig returns the paper's manager configuration with
+// the named pilot-supply policy from the policy registry ("fib",
+// "var", "adaptive", ...). Unknown names panic; validate with
+// policy.New first when the name comes from user input. The legacy
+// Fib*/Var* fields stay populated with the paper values so callers
+// that clear Policy and set Mode keep working.
+func DefaultManagerConfig(policyName string) ManagerConfig {
 	return ManagerConfig{
-		Mode:             mode,
+		Policy:           policy.MustNew(policyName),
 		Partition:        "whisk",
 		FibLengths:       append([]time.Duration(nil), SetA1...),
 		FibDepth:         10,
@@ -122,6 +127,17 @@ func DefaultManagerConfig(mode Mode) ManagerConfig {
 		Invoker:          whisk.DefaultInvokerConfig(),
 		Seed:             1,
 	}
+}
+
+// DefaultManagerConfigMode returns the paper's configuration for one
+// of the two legacy supply modes.
+//
+// Deprecated: call DefaultManagerConfig with the policy's registry
+// name ("fib" or "var") instead.
+func DefaultManagerConfigMode(mode Mode) ManagerConfig {
+	cfg := DefaultManagerConfig(mode.String())
+	cfg.Mode = mode
+	return cfg
 }
 
 // policySeedOffset decorrelates the policy's private random stream

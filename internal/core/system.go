@@ -23,9 +23,18 @@ type SystemConfig struct {
 	Seed       int64
 }
 
+// SiteConfig is the per-site deployment configuration of a federation:
+// one federated Site is exactly one single-cluster deployment, so the
+// two names share one type.
+type SiteConfig = SystemConfig
+
 // DefaultSystemConfig returns a deployment matching the paper's setup
-// for the given cluster size and supply mode.
-func DefaultSystemConfig(nodes int, mode Mode) SystemConfig {
+// for the given cluster size and pilot-supply policy (a policy-registry
+// name: "fib", "var", "adaptive", "lease", "hybrid", or anything the
+// embedding program registered). An unknown name panics, as the
+// registry's MustNew does; validate with policy.New first when the
+// name comes from user input.
+func DefaultSystemConfig(nodes int, policyName string) SystemConfig {
 	ctrl := whisk.DefaultControllerConfig()
 	// The wired deployment's clients (load generators, the Alg. 1
 	// wrapper, experiment accounting) never retain an invocation past
@@ -37,13 +46,26 @@ func DefaultSystemConfig(nodes int, mode Mode) SystemConfig {
 		Nodes:      nodes,
 		Slurm:      slurm.DefaultConfig(),
 		Controller: ctrl,
-		Manager:    DefaultManagerConfig(mode),
+		Manager:    DefaultManagerConfig(policyName),
 		Seed:       1,
 	}
 }
 
-// System is a fully wired HPC-Whisk deployment on the simulation plane.
-type System struct {
+// DefaultSystemConfigMode returns the paper deployment for one of the
+// two legacy supply modes.
+//
+// Deprecated: call DefaultSystemConfig with the policy's registry name
+// ("fib" or "var") instead.
+func DefaultSystemConfigMode(nodes int, mode Mode) SystemConfig {
+	return DefaultSystemConfig(nodes, mode.String())
+}
+
+// Site is one fully wired HPC-Whisk deployment — Slurm emulator,
+// OpenWhisk controller and bus, pilot manager, Slurm-level logger — on
+// a simulation plane it may share with other sites. A single-cluster
+// System is a 1-site special case; a Federation hosts N sites on one
+// clock behind a routing front door.
+type Site struct {
 	Sim     *des.Sim
 	Bus     *bus.Bus
 	Ctrl    *whisk.Controller
@@ -52,11 +74,13 @@ type System struct {
 	Logger  *SlurmLogger
 }
 
-// NewSystem builds the deployment: a tier-0 "whisk" partition for the
-// pilots, a tier-1 "hpc" partition for prime jobs, the off-cluster
-// controller, and the job manager.
-func NewSystem(cfg SystemConfig) *System {
-	sim := des.New()
+// NewSite builds one deployment on an existing simulation plane: a
+// tier-0 "whisk" partition for the pilots, a tier-1 "hpc" partition
+// for prime jobs, the off-cluster controller, and the job manager.
+// All of the site's seeds derive from cfg.Seed at fixed offsets, so a
+// site is a pure function of its own config regardless of how many
+// other sites share the clock.
+func NewSite(sim *des.Sim, cfg SiteConfig) *Site {
 	b := bus.New(sim, cfg.BusLatency, cfg.Seed+1)
 	ctrl := whisk.NewController(sim, b, cfg.Controller, cfg.Seed+2)
 	emu := slurm.New(sim, cfg.Nodes, cfg.Slurm)
@@ -65,7 +89,7 @@ func NewSystem(cfg SystemConfig) *System {
 	mcfg := cfg.Manager
 	mcfg.Seed = cfg.Seed + 3
 	mgr := NewPilotManager(emu, ctrl, mcfg)
-	return &System{
+	return &Site{
 		Sim:     sim,
 		Bus:     b,
 		Ctrl:    ctrl,
@@ -76,18 +100,60 @@ func NewSystem(cfg SystemConfig) *System {
 }
 
 // LoadTrace drives the cluster with an exogenous availability trace.
-func (s *System) LoadTrace(tr *workload.Trace) { s.Slurm.DriveTrace(tr) }
+func (s *Site) LoadTrace(tr *workload.Trace) { s.Slurm.DriveTrace(tr) }
 
 // Start launches the manager, the scheduler, and the Slurm-level
 // logger.
-func (s *System) Start() {
+func (s *Site) Start() {
 	s.Manager.Start()
 	s.Slurm.Start()
 	s.Logger.Start()
 }
 
-// Run advances the simulation by d.
-func (s *System) Run(d time.Duration) { s.Sim.RunFor(d) }
+// Run advances the simulation by d. On a shared (federated) plane this
+// advances every site — there is one clock.
+func (s *Site) Run(d time.Duration) { s.Sim.RunFor(d) }
+
+// RunCtx advances the simulation by d in epoch-sized chunks, checking
+// ctx between chunks; see the package-level runCtx.
+func (s *Site) RunCtx(ctx context.Context, d, epoch time.Duration, progress func(done, total time.Duration)) error {
+	return runCtx(s.Sim, ctx, d, epoch, progress)
+}
+
+// Invoke submits a call to the site's controller. Together with the
+// health accessors below it makes *Site satisfy router.Site, the
+// per-cluster view the federation's front door routes over.
+func (s *Site) Invoke(action string, done func(*whisk.Invocation)) {
+	s.Ctrl.Invoke(action, done)
+}
+
+// HealthyInvokers returns the number of invokers accepting work.
+func (s *Site) HealthyInvokers() int { return s.Ctrl.HealthyCount() }
+
+// Utilization returns the busy share of healthy invoker capacity.
+func (s *Site) Utilization() float64 { return s.Ctrl.Utilization() }
+
+// QueueDepth returns the accepted-but-unstarted request backlog.
+func (s *Site) QueueDepth() int { return s.Ctrl.QueueDepth() }
+
+// FastLaneDepth returns the §III-C priority-topic backlog.
+func (s *Site) FastLaneDepth() int { return s.Ctrl.FastLaneDepth() }
+
+// DrainingInvokers returns the number of invokers mid-hand-off.
+func (s *Site) DrainingInvokers() int { return s.Ctrl.DrainingCount() }
+
+// System is a fully wired single-cluster HPC-Whisk deployment owning
+// its own simulation plane — a thin wrapper over a 1-site federation's
+// Site with the clock built in. All Site fields and methods are
+// promoted.
+type System struct {
+	*Site
+}
+
+// NewSystem builds the single-cluster deployment on a fresh clock.
+func NewSystem(cfg SystemConfig) *System {
+	return &System{Site: NewSite(des.New(), cfg)}
+}
 
 // DefaultEpoch is the cancellation/progress granularity of RunCtx: one
 // virtual minute. A 24-hour production day simulates in about a second
@@ -95,33 +161,33 @@ func (s *System) Run(d time.Duration) { s.Sim.RunFor(d) }
 // latency well under a millisecond of wall clock.
 const DefaultEpoch = time.Minute
 
-// RunCtx advances the simulation by d in epoch-sized chunks of virtual
+// runCtx advances the simulation by d in epoch-sized chunks of virtual
 // time, checking ctx between chunks and reporting progress after each.
 // Chunked advancement fires exactly the events a single Run(d) would,
 // in the same order — the DES orders events by (instant, sequence)
-// alone — so a completed RunCtx is bit-identical to Run. On
+// alone — so a completed runCtx is bit-identical to Run. On
 // cancellation it stops at the current epoch boundary and returns the
 // context's error; the simulation state stays valid (partial) and the
 // clock sits at the boundary reached. A run whose final epoch has
 // already fired is complete, so a cancellation racing with completion
 // reports success, never a spurious partial-result error.
-func (s *System) RunCtx(ctx context.Context, d, epoch time.Duration, progress func(done, total time.Duration)) error {
+func runCtx(sim *des.Sim, ctx context.Context, d, epoch time.Duration, progress func(done, total time.Duration)) error {
 	if epoch <= 0 {
 		epoch = DefaultEpoch
 	}
-	start := s.Sim.Now()
+	start := sim.Now()
 	end := start + d
-	for s.Sim.Now() < end {
+	for sim.Now() < end {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		step := epoch
-		if rest := end - s.Sim.Now(); rest < step {
+		if rest := end - sim.Now(); rest < step {
 			step = rest
 		}
-		s.Sim.RunFor(step)
+		sim.RunFor(step)
 		if progress != nil {
-			progress(s.Sim.Now()-start, d)
+			progress(sim.Now()-start, d)
 		}
 	}
 	return nil

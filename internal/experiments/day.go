@@ -10,7 +10,6 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/dist"
 	"repro/internal/loadgen"
-	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/whisk"
 	"repro/internal/workload"
@@ -234,7 +233,12 @@ func RunDay(cfg DayConfig) DayResult {
 func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayResult, error) {
 	tr := cfg.TraceConfig().Generate()
 
-	sys := core.NewSystem(systemConfig(cfg))
+	// A production day is a 1-site federation: the front door adds no
+	// events, no RNG draws, and no allocations, so this path reproduces
+	// the pre-federation single-cluster run byte-for-byte (pinned by the
+	// day goldens).
+	fed := core.NewFederation(core.FederationConfig{Sites: []core.SiteConfig{systemConfig(cfg)}})
+	sys := fed.Sites[0]
 	sys.LoadTrace(tr)
 
 	var gen *loadgen.Generator
@@ -248,7 +252,7 @@ func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayRe
 				Interruptible: true,
 			})
 		}
-		gen = loadgen.New(sys.Sim, loadgen.ForController(sys.Ctrl),
+		gen = loadgen.New(fed.Sim, fed,
 			loadgen.Config{QPS: cfg.QPS, Actions: actions, Duration: cfg.Horizon, BucketLen: time.Minute})
 		gen.Start()
 	}
@@ -332,10 +336,7 @@ func (r DayResult) RenderSeries(w io.Writer) {
 }
 
 func systemConfig(cfg DayConfig) core.SystemConfig {
-	sc := core.DefaultSystemConfig(cfg.Nodes, cfg.Mode)
-	if cfg.Policy != "" {
-		sc.Manager.Policy = policy.MustNew(cfg.Policy)
-	}
+	sc := core.DefaultSystemConfig(cfg.Nodes, cfg.PolicyName())
 	sc.Seed = cfg.Seed + 1000
 	sc.Manager.GracefulHandoff = cfg.GracefulHandoff
 	sc.Manager.InterruptRunning = cfg.InterruptRunning

@@ -23,7 +23,15 @@ type EndogenousConfig struct {
 	Nodes   int
 	Horizon time.Duration
 	Seed    int64
-	Mode    core.Mode
+
+	// Mode selects the paper supply model when Policy is empty.
+	//
+	// Deprecated: set Policy (a registry name) instead.
+	Mode core.Mode
+
+	// Policy names the pilot-supply policy in the policy registry.
+	// Empty falls back to Mode.
+	Policy string
 
 	// Utilization is the target prime-load share of the cluster
 	// (Prometheus ran above 0.99; smaller slices need headroom for the
@@ -42,7 +50,7 @@ func DefaultEndogenousConfig(seed int64) EndogenousConfig {
 		Nodes:       256,
 		Horizon:     12 * time.Hour,
 		Seed:        seed,
-		Mode:        core.ModeFib,
+		Policy:      "fib",
 		Utilization: 0.94,
 		MaxWalltime: 4 * time.Hour,
 		MaxJobNodes: 32,
@@ -75,6 +83,15 @@ type EndogenousResult struct {
 	Preempted     int
 }
 
+// PolicyName resolves the effective supply-policy name: the Policy
+// field when set, else the deprecated Mode's name.
+func (cfg EndogenousConfig) PolicyName() string {
+	if cfg.Policy != "" {
+		return cfg.Policy
+	}
+	return cfg.Mode.String()
+}
+
 // RunEndogenous executes the experiment.
 func RunEndogenous(cfg EndogenousConfig) EndogenousResult {
 	res, _ := RunEndogenousCtx(context.Background(), cfg, nil) // never canceled
@@ -84,7 +101,7 @@ func RunEndogenous(cfg EndogenousConfig) EndogenousResult {
 // RunEndogenousCtx is RunEndogenous with cooperative cancellation and
 // progress.
 func RunEndogenousCtx(ctx context.Context, cfg EndogenousConfig, progress ProgressFunc) (EndogenousResult, error) {
-	sysCfg := core.DefaultSystemConfig(cfg.Nodes, cfg.Mode)
+	sysCfg := core.DefaultSystemConfig(cfg.Nodes, cfg.PolicyName())
 	sysCfg.Seed = cfg.Seed + 10
 	sys := core.NewSystem(sysCfg)
 
@@ -172,7 +189,7 @@ func RunEndogenousCtx(ctx context.Context, cfg EndogenousConfig, progress Progre
 // Render prints the summary.
 func (r EndogenousResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Endogenous full-scheduler run — %d nodes, %v, %s pilots\n",
-		r.Config.Nodes, r.Config.Horizon, r.Config.Mode)
+		r.Config.Nodes, r.Config.Horizon, r.Config.PolicyName())
 	fmt.Fprintf(w, "  prime utilization %.1f%%; idle %.1f%%; pilot %.1f%%\n",
 		100*r.PrimeUtilization, 100*r.IdleShare, 100*r.PilotShare)
 	fmt.Fprintf(w, "  pilots covered %.1f%% of the emergent gaps\n", 100*r.PilotCoverage)

@@ -43,7 +43,7 @@ func RunFig3(seed int64) Fig3Result {
 
 // RunFig3Ctx is RunFig3 with cooperative cancellation and progress.
 func RunFig3Ctx(ctx context.Context, seed int64, progress ProgressFunc) (Fig3Result, error) {
-	scfg := core.DefaultSystemConfig(5, core.ModeFib)
+	scfg := core.DefaultSystemConfig(5, "fib")
 	scfg.Seed = seed
 	scfg.Slurm.SchedInterval = 5 * time.Second
 	scfg.Slurm.PassBase = 100 * time.Millisecond

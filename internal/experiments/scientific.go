@@ -26,7 +26,15 @@ type ScientificConfig struct {
 	Seed      int64
 	Functions int
 	QPS       float64
-	Mode      core.Mode
+
+	// Mode selects the paper supply model when Policy is empty.
+	//
+	// Deprecated: set Policy (a registry name) instead.
+	Mode core.Mode
+
+	// Policy names the pilot-supply policy in the policy registry.
+	// Empty falls back to Mode.
+	Policy string
 
 	// UseWrapper routes calls through the Alg. 1 fallback so 503s are
 	// absorbed by the commercial cloud; false measures the raw cluster.
@@ -42,9 +50,18 @@ func DefaultScientificConfig(seed int64) ScientificConfig {
 		Seed:       seed,
 		Functions:  200,
 		QPS:        2,
-		Mode:       core.ModeFib,
+		Policy:     "fib",
 		UseWrapper: true,
 	}
+}
+
+// PolicyName resolves the effective supply-policy name: the Policy
+// field when set, else the deprecated Mode's name.
+func (cfg ScientificConfig) PolicyName() string {
+	if cfg.Policy != "" {
+		return cfg.Policy
+	}
+	return cfg.Mode.String()
 }
 
 // ClassStats summarizes outcomes for one function class.
@@ -91,9 +108,10 @@ func RunScientific(cfg ScientificConfig) ScientificResult {
 func RunScientificCtx(ctx context.Context, cfg ScientificConfig, progress ProgressFunc) (ScientificResult, error) {
 	day := FibDay(cfg.Seed)
 	day.Mode = cfg.Mode
+	day.Policy = cfg.Policy
 	wl := faasload.DefaultSpec(cfg.Functions, cfg.Seed+1).Build()
 
-	sysCfg := core.DefaultSystemConfig(cfg.Nodes, cfg.Mode)
+	sysCfg := core.DefaultSystemConfig(cfg.Nodes, cfg.PolicyName())
 	sysCfg.Seed = cfg.Seed + 2
 	// Long functions need headroom beyond the default 60 s timeout.
 	sysCfg.Controller.ActionTimeout = 10 * time.Minute
@@ -227,7 +245,7 @@ func (c *classifyingBackend) Invoke(action string, done func(*whisk.Invocation))
 // Render prints the per-class outcome table.
 func (r ScientificResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Scientific FaaS workload (§VII future work) — %d functions, %.0f QPS, %v, %s\n",
-		r.Config.Functions, r.Config.QPS, r.Config.Horizon, r.Config.Mode)
+		r.Config.Functions, r.Config.QPS, r.Config.Horizon, r.Config.PolicyName())
 	fmt.Fprintf(w, "  overall: %s\n", r.Load.String())
 	classes := make([]faasload.Class, 0, len(r.ByClass))
 	for c := range r.ByClass {

@@ -1,0 +1,135 @@
+package router
+
+// The four built-in routing policies. All are deterministic pure
+// functions of the View: no private randomness (the 1-site federation
+// is pinned byte-for-byte against the single-cluster goldens) and no
+// allocation on the pick path (the front door sits on the
+// allocation-free request path at up to 1000 QPS).
+//
+// Scans start at the request's home site so equal-score ties resolve
+// toward home first, then the nearest following site — the same
+// forward-probe symmetry the whisk controller uses for its
+// home-invoker routing. That keeps warm-container affinity when
+// signals are flat and makes every policy collapse to "home unless
+// dead" in a 1-site federation.
+
+// latencyWeighted routes to the healthy site with the lowest recent
+// successful end-to-end latency (EWMA). A site that has not served a
+// success yet reports 0 and therefore wins the scan — new or recovered
+// capacity gets probed immediately, after which its real latency takes
+// over. rFaaS makes the case for this signal: at high QPS the
+// per-invocation routing cost and hot-capacity placement dominate the
+// tail.
+type latencyWeighted struct{}
+
+func (*latencyWeighted) Name() string { return "latency-weighted" }
+func (*latencyWeighted) Init(int)     {}
+
+func (*latencyWeighted) Pick(v View, _ string, home int) int {
+	n := v.NumSites()
+	best := NoSite
+	var bestLat float64
+	for k := 0; k < n; k++ {
+		i := (home + k) % n
+		if !v.Healthy(i) {
+			continue
+		}
+		lat := v.Latency(i)
+		if best == NoSite || lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	return best
+}
+
+// capacityWeighted routes to the healthy site with the most free
+// harvested capacity: healthy invokers weighted by their idle share.
+// It is the default federation policy — the direct generalization of
+// the paper's "route to whoever has workers" to many clusters.
+type capacityWeighted struct{}
+
+func (*capacityWeighted) Name() string { return "capacity-weighted" }
+func (*capacityWeighted) Init(int)     {}
+
+func (*capacityWeighted) Pick(v View, _ string, home int) int {
+	n := v.NumSites()
+	best := NoSite
+	var bestFree float64
+	for k := 0; k < n; k++ {
+		i := (home + k) % n
+		if !v.Healthy(i) {
+			continue
+		}
+		free := float64(v.HealthyInvokers(i)) * (1 - v.Utilization(i))
+		if best == NoSite || free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	return best
+}
+
+// spillUtilization is the load threshold above which spill-over stops
+// considering a site "comfortable" and probes onward.
+const spillUtilization = 0.9
+
+// spillOver keeps every request on its home site while the home is
+// healthy and below the saturation threshold, and only then probes
+// forward — first for a healthy unsaturated site, falling back to any
+// healthy site. It maximizes locality (warm containers, per-site
+// accounting) at the price of slower load spreading.
+type spillOver struct{}
+
+func (*spillOver) Name() string { return "spill-over" }
+func (*spillOver) Init(int)     {}
+
+func (*spillOver) Pick(v View, _ string, home int) int {
+	n := v.NumSites()
+	fallback := NoSite
+	for k := 0; k < n; k++ {
+		i := (home + k) % n
+		if !v.Healthy(i) {
+			continue
+		}
+		if v.Utilization(i) < spillUtilization {
+			return i
+		}
+		if fallback == NoSite {
+			fallback = i
+		}
+	}
+	return fallback
+}
+
+// drainPenalty is how many queued requests one draining invoker
+// "costs" in the fast-lane-aware score: a drain moves the invoker's
+// unpulled topic onto the fast lane after the status-propagation
+// delay, so a site mid-hand-off is about to grow its backlog even if
+// the queues look short right now.
+const drainPenalty = 8
+
+// fastLaneAware routes to the healthy site with the smallest projected
+// backlog: queued requests plus the fast-lane depth (work displaced by
+// §III-C hand-offs competes for the next free slots) plus a penalty
+// per draining invoker. It reacts to reclaim storms a utilization
+// signal only sees after the queues have already built up.
+type fastLaneAware struct{}
+
+func (*fastLaneAware) Name() string { return "fast-lane-aware" }
+func (*fastLaneAware) Init(int)     {}
+
+func (*fastLaneAware) Pick(v View, _ string, home int) int {
+	n := v.NumSites()
+	best := NoSite
+	bestScore := 0
+	for k := 0; k < n; k++ {
+		i := (home + k) % n
+		if !v.Healthy(i) {
+			continue
+		}
+		score := v.QueueDepth(i) + v.FastLaneDepth(i) + drainPenalty*v.Draining(i)
+		if best == NoSite || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+// Package router is the global routing layer of the federated
+// cluster-of-clusters deployment: N independent Slurm+whisk Sites on
+// one simulation plane, fronted by a single entry point (the
+// FrontDoor) that picks a site per request through a pluggable
+// RoutingPolicy.
+//
+// The package mirrors the shape of internal/policy: RoutingPolicy is a
+// small stateful interface, policies register in a name-keyed registry
+// ("latency-weighted", "capacity-weighted", "spill-over",
+// "fast-lane-aware", plus anything the embedding program registers),
+// and experiment configs refer to them by name. Policies observe
+// per-site health, utilization, and queue signals through the View
+// interface and return a site index — or NoSite when no site can take
+// the request, in which case the caller decides (the front door
+// surfaces a 503 from a real controller so the Alg. 1 wrapper can
+// off-load to the commercial cloud).
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/whisk"
+)
+
+// NoSite is the fallback sentinel a policy returns when no registered
+// site is healthy. The front door never routes to it: it surfaces the
+// request to a real (unhealthy) controller so the refusal is an
+// ordinary 503 on the client path.
+const NoSite = -1
+
+// Site is one federated cluster as the front door sees it: an
+// invocation sink plus the health signals the routing policies
+// observe. core.Site implements it by delegating to its controller.
+type Site interface {
+	// Invoke submits a call; done fires exactly once with the outcome.
+	Invoke(action string, done func(*whisk.Invocation))
+
+	// HealthyInvokers is the number of invokers accepting work.
+	HealthyInvokers() int
+
+	// Utilization is the busy share of healthy invoker capacity, [0,1].
+	Utilization() float64
+
+	// QueueDepth is the number of accepted-but-unstarted requests
+	// (unpulled topic messages plus invoker buffers).
+	QueueDepth() int
+
+	// FastLaneDepth is the backlog of the site's §III-C priority topic.
+	FastLaneDepth() int
+
+	// DrainingInvokers is the number of invokers mid-hand-off.
+	DrainingInvokers() int
+}
+
+// View is the read-only federation snapshot a policy picks from. Site
+// indices are stable for the lifetime of a federation; a site with no
+// healthy invoker stays registered (its pilots may come back) but must
+// never be picked.
+type View interface {
+	// NumSites is the (fixed) number of federated sites.
+	NumSites() int
+
+	// Healthy reports whether site i has at least one healthy invoker.
+	Healthy(i int) bool
+
+	// HealthyInvokers, Utilization, QueueDepth, FastLaneDepth and
+	// Draining expose site i's health signals (see Site).
+	HealthyInvokers(i int) int
+	Utilization(i int) float64
+	QueueDepth(i int) int
+	FastLaneDepth(i int) int
+	Draining(i int) int
+
+	// Latency is the front door's exponentially weighted moving average
+	// of site i's recent successful end-to-end latency, in seconds; 0
+	// until the site served its first success.
+	Latency(i int) float64
+}
+
+// RoutingPolicy picks a site per request. Implementations must be
+// deterministic pure functions of the View (no private randomness —
+// the request path is pinned byte-for-byte by goldens) and must return
+// either the index of a currently healthy site or NoSite; returning
+// NoSite while a healthy site exists, or a drained site index, is a
+// policy bug (the property tests enforce the invariant for every
+// registered policy).
+type RoutingPolicy interface {
+	// Name returns the registry name.
+	Name() string
+
+	// Init prepares the policy for a federation of n sites. It is
+	// called once, before the first Pick.
+	Init(n int)
+
+	// Pick returns the target site for one request. home is the
+	// request's hash-derived home site (the symmetry anchor: policies
+	// that have no better signal, and tie-breaks, should prefer it so
+	// warm-container affinity is preserved).
+	Pick(v View, action string, home int) int
+}
+
+// Factory builds a fresh, default-configured routing policy. Policies
+// may be stateful, so every front door needs its own instance.
+type Factory func() RoutingPolicy
+
+var registry = map[string]Factory{}
+
+// Register adds a routing policy factory under a name. Experiment
+// configs and the CLI grids refer to routing policies by these names.
+// Registering a duplicate or empty name panics (a programming error,
+// as in the supply-policy registry).
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("router: Register needs a name and a factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("router: %q already registered", name))
+	}
+	registry[name] = f
+}
+
+// New builds a fresh default-configured routing policy by registry
+// name.
+func New(name string) (RoutingPolicy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("router: unknown routing policy %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustNew is New for callers whose name is already validated.
+func MustNew(name string) RoutingPolicy {
+	p, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists the registered routing-policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("latency-weighted", func() RoutingPolicy { return &latencyWeighted{} })
+	Register("capacity-weighted", func() RoutingPolicy { return &capacityWeighted{} })
+	Register("spill-over", func() RoutingPolicy { return &spillOver{} })
+	Register("fast-lane-aware", func() RoutingPolicy { return &fastLaneAware{} })
+}

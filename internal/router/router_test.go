@@ -1,0 +1,218 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fakeView is a hand-driven federation snapshot for the policy
+// property tests.
+type fakeView struct {
+	healthy []int
+	util    []float64
+	queue   []int
+	fl      []int
+	drain   []int
+	lat     []float64
+}
+
+func newFakeView(n int) *fakeView {
+	return &fakeView{
+		healthy: make([]int, n),
+		util:    make([]float64, n),
+		queue:   make([]int, n),
+		fl:      make([]int, n),
+		drain:   make([]int, n),
+		lat:     make([]float64, n),
+	}
+}
+
+func (v *fakeView) NumSites() int             { return len(v.healthy) }
+func (v *fakeView) Healthy(i int) bool        { return v.healthy[i] > 0 }
+func (v *fakeView) HealthyInvokers(i int) int { return v.healthy[i] }
+func (v *fakeView) Utilization(i int) float64 { return v.util[i] }
+func (v *fakeView) QueueDepth(i int) int      { return v.queue[i] }
+func (v *fakeView) FastLaneDepth(i int) int   { return v.fl[i] }
+func (v *fakeView) Draining(i int) int        { return v.drain[i] }
+func (v *fakeView) Latency(i int) float64     { return v.lat[i] }
+
+func (v *fakeView) anyHealthy() bool {
+	for _, h := range v.healthy {
+		if h > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPolicyRegistry checks the registry contract: the four built-ins
+// resolve, unknown names error, and Names is sorted and complete.
+func TestPolicyRegistry(t *testing.T) {
+	want := []string{"capacity-weighted", "fast-lane-aware", "latency-weighted", "spill-over"}
+	names := Names()
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in policy %q missing from Names() = %v", w, names)
+		}
+		p, err := New(w)
+		if err != nil {
+			t.Fatalf("New(%q): %v", w, err)
+		}
+		if p.Name() != w {
+			t.Fatalf("New(%q).Name() = %q", w, p.Name())
+		}
+	}
+	if _, err := New("no-such-policy"); err == nil {
+		t.Fatal("New of an unknown policy must error")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+// TestPolicyInvariantUnderKillStorms is the safety property of the
+// routing layer: under randomized register/kill storms, every
+// registered policy always returns a currently healthy site index or
+// the NoSite sentinel — never a drained/killed site, and never NoSite
+// while a healthy site exists.
+func TestPolicyInvariantUnderKillStorms(t *testing.T) {
+	const (
+		rounds   = 400
+		picksPer = 25
+	)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+			for n := 1; n <= 9; n += 2 { // 1, 3, 5, 7, 9 sites
+				pol := MustNew(name)
+				pol.Init(n)
+				v := newFakeView(n)
+				for r := 0; r < rounds; r++ {
+					// Storm: flip a random subset of sites between
+					// killed (0 healthy invokers) and revived, and
+					// scramble every load signal — including the
+					// degenerate all-dead federation.
+					for i := range v.healthy {
+						switch rng.Intn(4) {
+						case 0: // kill
+							v.healthy[i] = 0
+							v.drain[i] = rng.Intn(3)
+						case 1: // revive
+							v.healthy[i] = 1 + rng.Intn(20)
+						}
+						v.util[i] = rng.Float64() * 1.2 // incl. >1 overload
+						v.queue[i] = rng.Intn(200)
+						v.fl[i] = rng.Intn(50)
+						v.lat[i] = rng.Float64() * 3
+						if rng.Intn(5) == 0 {
+							v.lat[i] = 0 // unprobed site
+						}
+					}
+					for p := 0; p < picksPer; p++ {
+						home := rng.Intn(n)
+						action := fmt.Sprintf("a-%03d", rng.Intn(50))
+						got := pol.Pick(v, action, home)
+						if v.anyHealthy() {
+							if got < 0 || got >= n {
+								t.Fatalf("%s: pick %d out of range with healthy sites (n=%d round=%d)",
+									name, got, n, r)
+							}
+							if !v.Healthy(got) {
+								t.Fatalf("%s: picked dead site %d (healthy=%v, n=%d round=%d)",
+									name, got, v.healthy, n, r)
+							}
+						} else if got != NoSite {
+							t.Fatalf("%s: pick %d with no healthy site, want NoSite (n=%d round=%d)",
+								name, got, n, r)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPolicySignalPreferences spot-checks that each policy follows its
+// advertised signal on a clean two-site view.
+func TestPolicySignalPreferences(t *testing.T) {
+	v := newFakeView(2)
+	v.healthy = []int{4, 4}
+
+	// latency-weighted: site 1 is twice as fast.
+	v.lat = []float64{1.0, 0.5}
+	if got := MustNew("latency-weighted").Pick(v, "a", 0); got != 1 {
+		t.Fatalf("latency-weighted picked %d, want the faster site 1", got)
+	}
+	// An unprobed site (lat 0) wins over a probed one.
+	v.lat = []float64{0.4, 0}
+	if got := MustNew("latency-weighted").Pick(v, "a", 0); got != 1 {
+		t.Fatalf("latency-weighted picked %d, want the unprobed site 1", got)
+	}
+
+	// capacity-weighted: site 0 has more free capacity.
+	v.lat = []float64{0, 0}
+	v.healthy = []int{10, 10}
+	v.util = []float64{0.2, 0.9}
+	if got := MustNew("capacity-weighted").Pick(v, "a", 1); got != 0 {
+		t.Fatalf("capacity-weighted picked %d, want the freer site 0", got)
+	}
+
+	// spill-over: stays home below the threshold, spills above it.
+	v.util = []float64{0.5, 0.1}
+	if got := MustNew("spill-over").Pick(v, "a", 0); got != 0 {
+		t.Fatalf("spill-over left a comfortable home (got %d)", got)
+	}
+	v.util = []float64{0.95, 0.1}
+	if got := MustNew("spill-over").Pick(v, "a", 0); got != 1 {
+		t.Fatalf("spill-over stayed on a saturated home (got %d)", got)
+	}
+	// Everything saturated: still serves (any healthy site).
+	v.util = []float64{0.95, 0.99}
+	if got := MustNew("spill-over").Pick(v, "a", 0); got != 0 {
+		t.Fatalf("spill-over with all sites saturated picked %d, want home 0", got)
+	}
+
+	// fast-lane-aware: avoids the site mid-reclaim-storm.
+	v.util = []float64{0, 0}
+	v.queue = []int{10, 10}
+	v.drain = []int{2, 0}
+	if got := MustNew("fast-lane-aware").Pick(v, "a", 0); got != 1 {
+		t.Fatalf("fast-lane-aware picked draining site (got %d)", got)
+	}
+	v.drain = []int{0, 0}
+	v.fl = []int{0, 40}
+	if got := MustNew("fast-lane-aware").Pick(v, "a", 1); got != 0 {
+		t.Fatalf("fast-lane-aware ignored the fast-lane backlog (got %d)", got)
+	}
+}
+
+// TestPolicyTieBreakPrefersHome: with flat signals every policy must
+// keep the request on its home site (warm-container affinity).
+func TestPolicyTieBreakPrefersHome(t *testing.T) {
+	v := newFakeView(4)
+	for i := range v.healthy {
+		v.healthy[i] = 5
+		v.util[i] = 0.3
+		v.lat[i] = 0.8
+		v.queue[i] = 7
+	}
+	for _, name := range Names() {
+		pol := MustNew(name)
+		pol.Init(4)
+		for home := 0; home < 4; home++ {
+			if got := pol.Pick(v, "a", home); got != home {
+				t.Fatalf("%s: flat signals, home %d, picked %d", name, home, got)
+			}
+		}
+	}
+}

@@ -7,9 +7,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/router"
 	"repro/internal/workload"
 )
 
@@ -26,6 +26,52 @@ func init() {
 	Register(dayScenario("var-day", "Table III / Fig. 6",
 		"the var production day: flexible pilots on the March 21st calibration",
 		experiments.VarDay, "var"))
+
+	Register(Spec{
+		Name:        "federated-day",
+		Artifact:    "beyond the paper",
+		Description: "cluster-of-clusters: N sites behind the routing front door, one run per routing policy",
+		Axes:        []string{"nodes", "horizon", "policy", "qps"},
+		Options: []OptionDoc{
+			{Name: "sites", Kind: KindInt, Default: "4", Help: "number of federated sites (alternating calm/contended days)"},
+			{Name: "routing", Kind: KindString, Default: "", Help: "comma-separated routing policies to compare (default: all registered)"},
+			{Name: "cloud-fallback", Kind: KindBool, Default: "false", Help: "off-load federation-wide 503s to the commercial cloud (Alg. 1)"},
+			{Name: "actions", Kind: KindInt, Default: "100", Help: "number of sleep functions under load"},
+			{Name: "sleep-exec", Kind: KindDuration, Default: "10ms", Help: "in-container execution time per call"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			fc := experiments.DefaultFederatedConfig(cfg.Seed())
+			fc.NodesPerSite = cfg.Nodes(fc.NodesPerSite)
+			fc.Horizon = cfg.Horizon(fc.Horizon)
+			fc.QPS = cfg.QPS(fc.QPS)
+			fc.Policy = cfg.Policy(fc.Policy)
+			if _, err := policy.New(fc.Policy); err != nil {
+				return nil, err
+			}
+			fc.Sites = cfg.Int("sites", fc.Sites)
+			if fc.Sites <= 0 {
+				return nil, fmt.Errorf("scenario: federated-day needs at least one site, got %d", fc.Sites)
+			}
+			fc.NumActions = cfg.Int("actions", fc.NumActions)
+			fc.SleepExec = cfg.Duration("sleep-exec", fc.SleepExec)
+			fc.CloudFallback = cfg.Bool("cloud-fallback", fc.CloudFallback)
+			if names := cfg.String("routing", ""); names != "" {
+				fc.Routing = splitList(names)
+				// The federation resolves these on construction, so an
+				// unknown routing policy must fail here, not panic.
+				for _, name := range fc.Routing {
+					if _, err := router.New(name); err != nil {
+						return nil, err
+					}
+				}
+			}
+			r, err := experiments.RunFederatedCtx(ctx, fc, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), federatedTable(r)), nil
+		},
+	})
 
 	Register(Spec{
 		Name:        "fig1",
@@ -195,11 +241,10 @@ func init() {
 			sc.QPS = cfg.QPS(sc.QPS)
 			sc.Functions = cfg.Int("functions", sc.Functions)
 			sc.UseWrapper = cfg.Bool("use-wrapper", sc.UseWrapper)
-			mode, err := paperMode(cfg.Policy(sc.Mode.String()))
-			if err != nil {
+			sc.Policy = cfg.Policy(sc.PolicyName())
+			if _, err := policy.New(sc.Policy); err != nil {
 				return nil, err
 			}
-			sc.Mode = mode
 			r, err := experiments.RunScientificCtx(ctx, sc, cfg.Progress())
 			if err != nil {
 				return nil, err
@@ -225,11 +270,10 @@ func init() {
 			ec.Utilization = cfg.Float("utilization", ec.Utilization)
 			ec.MaxWalltime = cfg.Duration("max-walltime", ec.MaxWalltime)
 			ec.MaxJobNodes = cfg.Int("max-job-nodes", ec.MaxJobNodes)
-			mode, err := paperMode(cfg.Policy(ec.Mode.String()))
-			if err != nil {
+			ec.Policy = cfg.Policy(ec.PolicyName())
+			if _, err := policy.New(ec.Policy); err != nil {
 				return nil, err
 			}
-			ec.Mode = mode
 			r, err := experiments.RunEndogenousCtx(ctx, ec, cfg.Progress())
 			if err != nil {
 				return nil, err
@@ -256,6 +300,11 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			day := base(cfg.Seed())
 			day.Policy = cfg.Policy(defPolicy)
+			// The day engine resolves the name with MustNew, so an
+			// unknown policy must fail here, not panic mid-run.
+			if _, err := policy.New(day.Policy); err != nil {
+				return nil, err
+			}
 			day.Nodes = cfg.Nodes(day.Nodes)
 			day.Horizon = cfg.Horizon(day.Horizon)
 			day.QPS = cfg.QPS(day.QPS)
@@ -270,18 +319,6 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			return NewResult(r, r.Metrics(), dayTable(r)), nil
 		},
 	}
-}
-
-// paperMode maps the paper's two policy names onto the core.Mode knob
-// still used by the scenarios whose config predates the policy layer.
-func paperMode(name string) (core.Mode, error) {
-	switch name {
-	case "fib":
-		return core.ModeFib, nil
-	case "var":
-		return core.ModeVar, nil
-	}
-	return 0, fmt.Errorf("scenario: this scenario supports only the paper policies fib and var, not %q", name)
 }
 
 func splitList(s string) []string {
@@ -347,6 +384,18 @@ func ablationTable(r experiments.AblationResult) [][]string {
 		rows = append(rows, []string{
 			row.Variant.Name, pct(row.LostShare), pct(row.Load.SuccessShare),
 			strconv.Itoa(row.Handoffs), strconv.Itoa(row.Preempted),
+		})
+	}
+	return rows
+}
+
+func federatedTable(r experiments.FederatedResult) [][]string {
+	rows := [][]string{{"routing", "invoked", "success", "p95-ms", "spill", "no-site", "healthy-avg", "coverage"}}
+	for _, run := range r.Runs {
+		rows = append(rows, []string{
+			run.Routing, pct(run.Load.InvokedShare), pct(run.Load.SuccessShare),
+			strconv.FormatInt(run.P95.Milliseconds(), 10), pct(run.SpillShare()),
+			strconv.Itoa(run.NoSitePicks), f2(run.GlobalHealthyAvg), pct(run.GlobalCoverage),
 		})
 	}
 	return rows

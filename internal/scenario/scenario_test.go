@@ -110,14 +110,15 @@ func TestPolicyComparisonRejectsUnknownPolicyList(t *testing.T) {
 	}
 }
 
-// TestPaperModeScenariosRejectOtherPolicies: scientific/endogenous
-// predate the policy layer and accept only the paper's fib/var; any
-// other registry policy must error cleanly.
-func TestPaperModeScenariosRejectOtherPolicies(t *testing.T) {
-	for _, name := range []string{"scientific", "endogenous"} {
-		_, err := Run(context.Background(), name, WithPolicy("adaptive"))
-		if err == nil || !strings.Contains(err.Error(), "only the paper policies") {
-			t.Errorf("%s: err = %v, want paper-policies error", name, err)
+// TestScenariosRejectUnknownPolicies: every scenario with a policy
+// axis resolves the name through the registry, so an unknown policy
+// must error cleanly before the run starts — never a MustNew panic
+// mid-sweep.
+func TestScenariosRejectUnknownPolicies(t *testing.T) {
+	for _, name := range []string{"scientific", "endogenous", "fib-day", "federated-day"} {
+		_, err := Run(context.Background(), name, WithPolicy("bogus"))
+		if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+			t.Errorf("%s: err = %v, want unknown-policy error", name, err)
 		}
 	}
 }

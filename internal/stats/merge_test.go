@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSumTimeWeightedAlignedSeries: two series over the same span sum
+// pointwise, and the time mean of the sum is the sum of the means.
+func TestSumTimeWeightedAlignedSeries(t *testing.T) {
+	a := &TimeWeighted{}
+	a.Observe(0, 2)
+	a.Observe(10*time.Minute, 4)
+	a.Finish(20 * time.Minute)
+
+	b := &TimeWeighted{}
+	b.Observe(0, 1)
+	b.Observe(5*time.Minute, 3)
+	b.Finish(20 * time.Minute)
+
+	sum := SumTimeWeighted(a, b)
+	if got, want := sum.Duration(), 20*time.Minute; got != want {
+		t.Fatalf("Duration = %v, want %v", got, want)
+	}
+	// Piecewise: [0,5)=3, [5,10)=5, [10,20)=7 → mean = (3*5+5*5+7*10)/20.
+	if got, want := sum.TimeMean(), (3.0*5+5.0*5+7.0*10)/20.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TimeMean = %v, want %v", got, want)
+	}
+	if got := a.TimeMean() + b.TimeMean(); math.Abs(sum.TimeMean()-got) > 1e-12 {
+		t.Fatalf("mean of sum %v != sum of means %v", sum.TimeMean(), got)
+	}
+	if got := sum.FractionEqual(5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("FractionEqual(5) = %v, want 0.25", got)
+	}
+}
+
+// TestSumTimeWeightedOffsetSpans: series covering different spans
+// contribute 0 outside their own observation window — exactly what a
+// federation needs when sites come up at different instants.
+func TestSumTimeWeightedOffsetSpans(t *testing.T) {
+	a := &TimeWeighted{} // site 0: healthy 2 workers over [0, 10m)
+	a.Observe(0, 2)
+	a.Finish(10 * time.Minute)
+
+	b := &TimeWeighted{} // site 1: healthy 3 workers over [5m, 15m)
+	b.Observe(5*time.Minute, 3)
+	b.Finish(15 * time.Minute)
+
+	sum := SumTimeWeighted(a, b)
+	// [0,5)=2, [5,10)=5, [10,15)=3.
+	if got, want := sum.Duration(), 15*time.Minute; got != want {
+		t.Fatalf("Duration = %v, want %v", got, want)
+	}
+	for _, c := range []struct {
+		v    float64
+		frac float64
+	}{{2, 1.0 / 3}, {5, 1.0 / 3}, {3, 1.0 / 3}} {
+		if got := sum.FractionEqual(c.v); math.Abs(got-c.frac) > 1e-12 {
+			t.Fatalf("FractionEqual(%v) = %v, want %v", c.v, got, c.frac)
+		}
+	}
+	// Node-weighted check used by the federated experiments: the merged
+	// mean equals the duration-weighted sum of per-series means.
+	want := (2.0*10 + 3.0*10) / 15.0
+	if got := sum.TimeMean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TimeMean = %v, want %v", got, want)
+	}
+}
+
+// TestSumTimeWeightedManySites: the merge of N single-site series
+// matches a hand-maintained global counter observing the same events.
+func TestSumTimeWeightedManySites(t *testing.T) {
+	// Three sites with worker-count step functions.
+	events := []struct {
+		site int
+		t    time.Duration
+		v    float64
+	}{
+		{0, 0, 0}, {1, 0, 0}, {2, 0, 0},
+		{0, 2 * time.Minute, 3},
+		{1, 3 * time.Minute, 1},
+		{2, 3 * time.Minute, 4},
+		{0, 7 * time.Minute, 0},
+		{1, 8 * time.Minute, 5},
+		{2, 11 * time.Minute, 2},
+		{1, 13 * time.Minute, 0},
+	}
+	end := 15 * time.Minute
+
+	sites := []*TimeWeighted{{}, {}, {}}
+	global := &TimeWeighted{}
+	cur := []float64{0, 0, 0}
+	for _, e := range events {
+		sites[e.site].Observe(e.t, e.v)
+		cur[e.site] = e.v
+		global.Observe(e.t, cur[0]+cur[1]+cur[2])
+	}
+	for _, s := range sites {
+		s.Finish(end)
+	}
+	global.Finish(end)
+
+	sum := SumTimeWeighted(sites...)
+	if got, want := sum.TimeMean(), global.TimeMean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged mean %v != hand-tracked global mean %v", got, want)
+	}
+	if got, want := sum.Duration(), global.Duration(); got != want {
+		t.Fatalf("merged duration %v != global duration %v", got, want)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		if got, want := sum.Quantile(q), global.Quantile(q); got != want {
+			t.Fatalf("quantile %v: merged %v != global %v", q, got, want)
+		}
+	}
+	if got, want := sum.FractionEqual(0), global.FractionEqual(0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("zero-worker share: merged %v != global %v", got, want)
+	}
+}
+
+// TestSumTimeWeightedDegenerate: nil and empty inputs yield an empty,
+// safely queryable series.
+func TestSumTimeWeightedDegenerate(t *testing.T) {
+	if got := SumTimeWeighted().TimeMean(); got != 0 {
+		t.Fatalf("empty merge TimeMean = %v", got)
+	}
+	if got := SumTimeWeighted(nil, &TimeWeighted{}).Duration(); got != 0 {
+		t.Fatalf("degenerate merge Duration = %v", got)
+	}
+	one := &TimeWeighted{}
+	one.Observe(time.Minute, 7)
+	one.Finish(2 * time.Minute)
+	sum := SumTimeWeighted(one, nil, &TimeWeighted{})
+	if got := sum.TimeMean(); got != 7 {
+		t.Fatalf("single-series merge TimeMean = %v, want 7", got)
+	}
+	if got := sum.Duration(); got != time.Minute {
+		t.Fatalf("single-series merge Duration = %v, want 1m", got)
+	}
+}

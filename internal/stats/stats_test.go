@@ -322,7 +322,9 @@ func TestPropertyTimeWeightedMeanBounded(t *testing.T) {
 			if v > hi {
 				hi = v
 			}
-			t0 += time.Duration(durs[i]+1) * time.Second
+			// Convert before adding 1: durs[i]+1 overflows uint8 at 0xff,
+			// which would make a zero-duration series (TimeMean 0).
+			t0 += (time.Duration(durs[i]) + 1) * time.Second
 		}
 		tw.Finish(t0)
 		m := tw.TimeMean()

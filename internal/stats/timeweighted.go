@@ -199,6 +199,53 @@ func (tw *TimeWeighted) Buckets(width time.Duration) []float64 {
 	return out
 }
 
+// SumTimeWeighted merges piecewise-constant series into their
+// pointwise sum: the federation-global view of per-site worker counts
+// or utilized capacity. The series may cover different spans; outside
+// its observed span a series contributes 0. The result is already
+// Finished at the latest observed instant (further Finish calls at
+// that instant are no-ops). The merge is an event sweep over segment
+// boundaries, O(E log E) in the total number of segments.
+func SumTimeWeighted(series ...*TimeWeighted) *TimeWeighted {
+	type event struct {
+		t time.Duration
+		d float64
+	}
+	var events []event
+	var end time.Duration
+	for _, tw := range series {
+		if tw == nil || !tw.started {
+			continue
+		}
+		at := tw.firstT
+		for _, s := range tw.segments {
+			if s.dur > 0 {
+				events = append(events, event{at, s.v}, event{at + s.dur, -s.v})
+			}
+			at += s.dur
+		}
+		if at > end {
+			end = at
+		}
+	}
+	out := &TimeWeighted{}
+	if len(events) == 0 {
+		return out
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	sum := 0.0
+	for i := 0; i < len(events); {
+		t := events[i].t
+		for i < len(events) && events[i].t == t {
+			sum += events[i].d
+			i++
+		}
+		out.Observe(t, sum)
+	}
+	out.Finish(end)
+	return out
+}
+
 // StateTracker accounts the time an entity spends in named states.
 type StateTracker struct {
 	started bool

@@ -30,19 +30,21 @@ func TestSweepScenariosValidatesUpfront(t *testing.T) {
 }
 
 // TestSweepScenariosSurfacesRuntimeErrors: a cell that passes upfront
-// validation but fails in every replica (scientific accepts only the
-// paper's fib/var policies; "adaptive" is a valid registry name) must
-// come back as a joined error naming the cell and seeds — not as a
-// silently empty result.
+// validation but fails in every replica (federated-day's "routing"
+// option parses as a plain string; the names are only resolved against
+// the router registry inside Run) must come back as a joined error
+// naming the cell and seeds — not as a silently empty result.
 func TestSweepScenariosSurfacesRuntimeErrors(t *testing.T) {
 	cfg := Config{Replicas: 2, BaseSeed: 1}
 	res, err := SweepScenarios(cfg, []ScenarioPoint{
-		{Scenario: "scientific", Options: []scenario.Option{scenario.WithPolicy("adaptive")}},
+		{Scenario: "federated-day", Options: []scenario.Option{
+			scenario.WithOption("routing", "no-such-routing"),
+		}},
 	})
 	if err == nil {
 		t.Fatal("all replicas failed yet SweepScenarios returned no error")
 	}
-	if !strings.Contains(err.Error(), "scientific") || !strings.Contains(err.Error(), "only the paper policies") {
+	if !strings.Contains(err.Error(), "federated-day") || !strings.Contains(err.Error(), "unknown routing policy") {
 		t.Errorf("error %q does not name the cell and cause", err)
 	}
 	if len(res) != 1 {

@@ -189,6 +189,38 @@ func (c *Controller) Utilization() float64 {
 	return float64(busy) / float64(capacity)
 }
 
+// DrainingCount returns the number of invokers mid-hand-off (§III-C):
+// still registered, no longer routed to. Routing layers read it as an
+// early reclaim-storm signal.
+func (c *Controller) DrainingCount() int {
+	n := 0
+	for _, inv := range c.slots {
+		if inv != nil && inv.state == InvokerDraining {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueDepth returns the accepted-but-unstarted backlog: unpulled
+// topic messages plus invoker-side buffers across the live invokers.
+// Together with FastLaneDepth it is the queue-pressure signal the
+// federation routing policies observe.
+func (c *Controller) QueueDepth() int {
+	n := 0
+	for _, inv := range c.slots {
+		if inv != nil {
+			n += inv.topic.Len() + inv.Buffered()
+		}
+	}
+	return n
+}
+
+// FastLaneDepth returns the backlog of the global priority topic —
+// work displaced by hand-offs that will compete for the next free
+// execution slots.
+func (c *Controller) FastLaneDepth() int { return c.fastLane.Len() }
+
 // retain adds one reference to the invocation: a pending request-path
 // hop, a queued bus message, or the executing invoker's running list.
 func (c *Controller) retain(inv *Invocation) { inv.refs++ }
