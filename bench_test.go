@@ -280,6 +280,34 @@ func BenchmarkRequestPath(b *testing.B) {
 	}
 }
 
+// BenchmarkWeekDayStreaming runs the week-day engine: a 7-day
+// fib-calibrated horizon on a small cluster slice with the O(1)-memory
+// streaming collectors (t-digest latencies, windowed series, streaming
+// worker-state accounting). The B/op ratchet plus the metrics-bytes
+// custom metric are the CI teeth of the memory claim: retained metric
+// state must stay flat in the horizon (≈1.2M requests summarized in a
+// few hundred KB), so any change that reintroduces horizon-linear
+// buffering on the streaming path fails the gate.
+func BenchmarkWeekDayStreaming(b *testing.B) {
+	b.ReportAllocs()
+	var r DayResult
+	for i := 0; i < b.N; i++ {
+		cfg := FibDay(1)
+		cfg.Nodes = 64
+		cfg.Horizon = 7 * 24 * time.Hour
+		cfg.MeanIdleNodes = 4
+		cfg.SaturatedFraction = 0.02
+		cfg.QPS = 2
+		cfg.NumActions = 20
+		cfg.SleepExec = 50 * time.Millisecond
+		cfg.Streaming = true
+		r = experiments.RunDay(cfg)
+	}
+	b.ReportMetric(float64(r.MetricsBytes), "metrics-bytes")
+	b.ReportMetric(100*r.Load.SuccessShare, "success-%")
+	b.ReportMetric(float64(r.Load.MedianLatency.Milliseconds()), "median-ms")
+}
+
 // BenchmarkTraceGeneration measures the idle-process generator itself
 // (the substrate every experiment builds on).
 func BenchmarkTraceGeneration(b *testing.B) {

@@ -548,3 +548,36 @@ type ScenarioPoint = sweep.ScenarioPoint
 func SweepScenarios(cfg SweepConfig, cells []ScenarioPoint) ([]SweepResult, error) {
 	return sweep.SweepScenarios(cfg, cells)
 }
+
+// Streaming O(1)-memory metrics: week-scale runs keep quantiles in
+// mergeable t-digest sketches and recent traffic in windowed counters
+// instead of unbounded buffers. Opt in per run (DayConfig.Streaming,
+// FederatedConfig.Streaming, the catalog's "streaming" option); the
+// simulation itself is byte-identical either way — only what the
+// accounting retains changes.
+
+// TDigest is a mergeable, deterministic quantile sketch with bounded
+// memory (O(compression) centroids) and an Epsilon(compression) rank-
+// error guarantee. Zero-allocation in steady state.
+type TDigest = stats.TDigest
+
+// MetricCollector is the streaming seam over scalar observation sinks:
+// both the exact buffered stats.Sample and the O(1)-memory TDigest
+// implement it.
+type MetricCollector = stats.Collector
+
+// DefaultDigestCompression is the compression the streaming runs use
+// when none is given (rank error ≤ 3%).
+const DefaultDigestCompression = stats.DefaultCompression
+
+// NewTDigest builds a sketch; compression ≤ 0 selects
+// DefaultDigestCompression.
+func NewTDigest(compression float64) *TDigest {
+	return stats.NewTDigest(compression)
+}
+
+// DigestEpsilon is the documented worst-case rank-error bound of a
+// TDigest built with the given compression.
+func DigestEpsilon(compression float64) float64 {
+	return stats.Epsilon(compression)
+}

@@ -17,17 +17,32 @@ import (
 type WorkerStates struct {
 	warming, healthy, irresp int
 
-	Warming *stats.TimeWeighted
-	Healthy *stats.TimeWeighted
-	Irresp  *stats.TimeWeighted
+	// The series are buffered stats.TimeWeighted by default (exact,
+	// one segment per transition) and stats.TimeWeightedStream under
+	// streaming accounting (O(1) memory for week-scale horizons).
+	Warming stats.TimeSeries
+	Healthy stats.TimeSeries
+	Irresp  stats.TimeSeries
 }
 
-// NewWorkerStates starts all counts at zero.
-func NewWorkerStates() *WorkerStates {
-	ws := &WorkerStates{
-		Warming: &stats.TimeWeighted{},
-		Healthy: &stats.TimeWeighted{},
-		Irresp:  &stats.TimeWeighted{},
+// NewWorkerStates starts all counts at zero with exact buffered series.
+func NewWorkerStates() *WorkerStates { return NewWorkerStatesStreaming(false) }
+
+// NewWorkerStatesStreaming starts all counts at zero; streaming selects
+// O(1)-memory sketch-backed series instead of buffered ones. Every
+// value Tables II/III read from the series (time means, zero-invoker
+// totals and longest runs) is exact either way; only the time-weighted
+// quantiles become ε-approximate under streaming.
+func NewWorkerStatesStreaming(streaming bool) *WorkerStates {
+	ws := &WorkerStates{}
+	if streaming {
+		ws.Warming = stats.NewTimeWeightedStream(0)
+		ws.Healthy = stats.NewTimeWeightedStream(0)
+		ws.Irresp = stats.NewTimeWeightedStream(0)
+	} else {
+		ws.Warming = &stats.TimeWeighted{}
+		ws.Healthy = &stats.TimeWeighted{}
+		ws.Irresp = &stats.TimeWeighted{}
 	}
 	ws.observe(0)
 	return ws
@@ -113,6 +128,18 @@ type SlurmLogger struct {
 
 	Entries []SlurmLogEntry
 	stopped bool
+
+	// Streaming accounting (SetStreaming): instead of appending to
+	// Entries (8,640/day — 60,480 for a week), polls fold into online
+	// aggregates so logger memory is O(1) in horizon. Stats and
+	// AverageSpacing work in both modes; the per-entry Entries slice
+	// stays empty when streaming.
+	streaming          bool
+	n                  int
+	firstAt, lastAt    des.Time
+	workers, avail     *stats.TDigest
+	idleSum, pilotSum  float64
+	zeroAvail, zeroWkr int
 }
 
 // NewSlurmLogger builds a logger with the paper's latency model.
@@ -126,6 +153,19 @@ func NewSlurmLogger(emu *slurm.Emulator, seed int64) *SlurmLogger {
 	l.requestFn = func(any) { l.request() }
 	l.recordFn = l.recordCb
 	return l
+}
+
+// SetStreaming switches the logger to O(1)-memory online aggregation
+// (worker/available-count digests plus running sums) instead of the
+// per-poll Entries buffer. Call before Start; the polling cadence and
+// RNG draws are identical either way, so enabling it never perturbs
+// the simulation — only what the logger retains.
+func (l *SlurmLogger) SetStreaming(on bool) {
+	l.streaming = on
+	if on && l.workers == nil {
+		l.workers = stats.NewTDigest(stats.DefaultCompression)
+		l.avail = stats.NewTDigest(stats.DefaultCompression)
+	}
 }
 
 // Start issues the first request immediately.
@@ -145,11 +185,30 @@ func (l *SlurmLogger) request() {
 // again.
 func (l *SlurmLogger) recordCb(any) {
 	cl := l.emu.Cluster()
-	l.Entries = append(l.Entries, SlurmLogEntry{
+	e := SlurmLogEntry{
 		At:    l.sim.Now(),
 		Idle:  cl.Count(cluster.Idle),
 		Pilot: cl.Count(cluster.Pilot),
-	})
+	}
+	if l.streaming {
+		if l.n == 0 {
+			l.firstAt = e.At
+		}
+		l.n++
+		l.lastAt = e.At
+		l.workers.Add(float64(e.Pilot))
+		l.avail.Add(float64(e.Idle + e.Pilot))
+		l.idleSum += float64(e.Idle)
+		l.pilotSum += float64(e.Pilot)
+		if e.Idle+e.Pilot == 0 {
+			l.zeroAvail++
+		}
+		if e.Pilot == 0 {
+			l.zeroWkr++
+		}
+	} else {
+		l.Entries = append(l.Entries, e)
+	}
 	l.sim.AfterCall(l.gap, l.requestFn, nil)
 }
 
@@ -157,11 +216,35 @@ func (l *SlurmLogger) recordCb(any) {
 // (§IV-A reports 10.32 s for the initial week and 10.68-10.72 s during
 // the experiments).
 func (l *SlurmLogger) AverageSpacing() time.Duration {
+	if l.streaming {
+		if l.n < 2 {
+			return 0
+		}
+		return (l.lastAt - l.firstAt) / time.Duration(l.n-1)
+	}
 	if len(l.Entries) < 2 {
 		return 0
 	}
 	span := l.Entries[len(l.Entries)-1].At - l.Entries[0].At
 	return span / time.Duration(len(l.Entries)-1)
+}
+
+// Measurements returns the number of polls recorded so far in either
+// mode.
+func (l *SlurmLogger) Measurements() int {
+	if l.streaming {
+		return l.n
+	}
+	return len(l.Entries)
+}
+
+// Footprint returns the retained metric bytes of the logger: the
+// entries buffer when buffered, the two digests when streaming.
+func (l *SlurmLogger) Footprint() int {
+	if l.streaming {
+		return l.workers.Footprint() + l.avail.Footprint()
+	}
+	return cap(l.Entries) * 32
 }
 
 // SlurmLevelStats aggregates the logger's entries into the Slurm-level
@@ -191,12 +274,30 @@ type SlurmLevelStats struct {
 	ZeroWorkerStates    int
 }
 
-// Stats reduces the log.
+// Stats reduces the log. Under streaming accounting the same stats
+// come from the online aggregates: every field is exact except the
+// worker/available quantiles, which are within stats.Epsilon rank
+// error.
 func (l *SlurmLogger) Stats() SlurmLevelStats {
 	var s SlurmLevelStats
-	s.Measurements = len(l.Entries)
+	s.Measurements = l.Measurements()
 	s.AvgSpacing = l.AverageSpacing()
-	if len(l.Entries) == 0 {
+	if s.Measurements == 0 {
+		return s
+	}
+	if l.streaming {
+		s.WorkerP25 = l.workers.Quantile(0.25)
+		s.WorkerP50 = l.workers.Quantile(0.50)
+		s.WorkerP75 = l.workers.Quantile(0.75)
+		s.WorkerAvg = l.workers.Mean()
+		if l.idleSum+l.pilotSum > 0 {
+			s.ShareUsed = l.pilotSum / (l.idleSum + l.pilotSum)
+			s.ShareNotUsed = 1 - s.ShareUsed
+		}
+		s.AvailableAvg = l.avail.Mean()
+		s.AvailableMedian = l.avail.Median()
+		s.ZeroAvailableStates = l.zeroAvail
+		s.ZeroWorkerStates = l.zeroWkr
 		return s
 	}
 	var workers, avail stats.Sample
@@ -257,9 +358,8 @@ func (m *PilotManager) OWStats(end time.Duration) OWLevelStats {
 	o.HealthyP75 = m.States.Healthy.Quantile(0.75)
 	o.HealthyAvg = m.States.Healthy.TimeMean()
 	o.IrrespAvg = m.States.Irresp.TimeMean()
-	zero := func(v float64) bool { return v == 0 }
-	o.NoInvokerTotal = m.States.Healthy.TotalWhere(zero)
-	o.NoInvokerLongest = m.States.Healthy.LongestRunWhere(zero)
+	o.NoInvokerTotal = m.States.Healthy.ZeroTotal()
+	o.NoInvokerLongest = m.States.Healthy.ZeroLongest()
 	if m.ReadySpans.Len() > 0 {
 		o.ReadySpanAvg = time.Duration(m.ReadySpans.Mean() * float64(time.Second))
 		o.ReadySpanMedian = time.Duration(m.ReadySpans.Median() * float64(time.Second))

@@ -100,6 +100,12 @@ type ManagerConfig struct {
 	// hand-off and the pilot job exiting.
 	DrainExitDelay time.Duration
 
+	// StreamingStats switches the worker-state series to O(1)-memory
+	// streaming accounting (see NewWorkerStatesStreaming). Pilot
+	// behavior, RNG draws, and event order are unaffected — only what
+	// the accounting retains.
+	StreamingStats bool
+
 	Invoker whisk.InvokerConfig
 	Seed    int64
 }
@@ -222,7 +228,7 @@ func NewPilotManager(emu *slurm.Emulator, ctrl *whisk.Controller, cfg ManagerCon
 		rng:    dist.NewRand(cfg.Seed),
 		policy: pol,
 		pilots: map[*slurm.Job]*pilot{},
-		States: NewWorkerStates(),
+		States: NewWorkerStatesStreaming(cfg.StreamingStats),
 	}
 	m.warmupFn = m.warmupCb
 	return m

@@ -21,6 +21,13 @@ type SystemConfig struct {
 	Manager    ManagerConfig
 	BusLatency dist.Dist
 	Seed       int64
+
+	// StreamingStats switches the site's accounting (worker-state
+	// series, Slurm-level logger) to O(1)-memory streaming collectors
+	// for week-scale horizons. Simulation behavior is identical — the
+	// flag only changes what the metrics retain. Off by default so
+	// golden-pinned runs keep exact buffered accounting.
+	StreamingStats bool
 }
 
 // SiteConfig is the per-site deployment configuration of a federation:
@@ -88,14 +95,17 @@ func NewSite(sim *des.Sim, cfg SiteConfig) *Site {
 	emu.AddPartition(slurm.Partition{Name: "hpc", PriorityTier: 1})
 	mcfg := cfg.Manager
 	mcfg.Seed = cfg.Seed + 3
+	mcfg.StreamingStats = mcfg.StreamingStats || cfg.StreamingStats
 	mgr := NewPilotManager(emu, ctrl, mcfg)
+	logger := NewSlurmLogger(emu, cfg.Seed+4)
+	logger.SetStreaming(cfg.StreamingStats)
 	return &Site{
 		Sim:     sim,
 		Bus:     b,
 		Ctrl:    ctrl,
 		Slurm:   emu,
 		Manager: mgr,
-		Logger:  NewSlurmLogger(emu, cfg.Seed+4),
+		Logger:  logger,
 	}
 }
 

@@ -57,6 +57,11 @@ type AblationConfig struct {
 	Horizon time.Duration
 	Seed    int64
 	Policy  string
+
+	// Streaming runs every variant day with O(1)-memory streaming
+	// collectors (see DayConfig.Streaming). The ablation reads only
+	// totals-derived shares, which are exact in both modes.
+	Streaming bool
 }
 
 // RunAblation runs a smaller cluster slice (for tractable bench times)
@@ -92,6 +97,7 @@ func RunAblationCtx(ctx context.Context, a AblationConfig, progress ProgressFunc
 		cfg.SleepExec = 500 * time.Millisecond // long enough to sit in queues
 		cfg.GracefulHandoff = v.GracefulHandoff
 		cfg.InterruptRunning = v.InterruptRunning
+		cfg.Streaming = a.Streaming
 		day, err := RunDayCtx(ctx, cfg, offsetProgress(progress, time.Duration(i)*perDay, total))
 		if err != nil {
 			return res, err

@@ -64,6 +64,17 @@ type DayConfig struct {
 	// for ablations.
 	GracefulHandoff  bool
 	InterruptRunning bool
+
+	// Streaming switches every metric collector in the run (loadgen
+	// series and latencies, worker-state series, Slurm-level logger) to
+	// O(1)-memory streaming sketches, for horizons where buffering
+	// per-request samples is the memory wall (the week-day scenario).
+	// Counters, shares, and time means stay exact; quantiles come
+	// within stats.Epsilon rank error; the per-minute figure panels
+	// (SimReadyPerMinute etc.) are skipped. Simulation behavior — RNG
+	// draws, event order, every counter — is identical either way. Off
+	// by default so the golden-pinned artifacts keep exact collection.
+	Streaming bool
 }
 
 // FibDay returns the March 17th, 2022 configuration (§V-B1).
@@ -158,9 +169,14 @@ type DayResult struct {
 	OW core.OWLevelStats
 
 	// Load: the responsiveness report; Series are the per-minute
-	// outcome counts of Figs. 5b/6b.
-	Load   loadgen.Report
-	Series *stats.MinuteSeries
+	// outcome counts of Figs. 5b/6b (a buffered MinuteSeries by
+	// default; under Streaming a WindowedCounts retaining only the
+	// recent tail). Latencies is the collector behind
+	// Load.MedianLatency — exact Sample by default, TDigest under
+	// Streaming.
+	Load      loadgen.Report
+	Series    stats.SeriesCollector
+	Latencies stats.Collector
 
 	// The three worker-count panels of Figs. 5a/6a, per minute:
 	// clairvoyant simulation, Slurm-level poller, OpenWhisk-level.
@@ -173,6 +189,22 @@ type DayResult struct {
 	Submitted     int
 	Preempted     int
 	Handoffs      int
+
+	// MetricsBytes is the retained footprint of the run's metric
+	// collectors (loadgen series + latencies, worker-state series,
+	// Slurm logger) — the quantity the week-day benchmark pins flat in
+	// horizon under Streaming.
+	MetricsBytes int
+}
+
+// Digests exposes the run's mergeable latency sketch for sweep-level
+// aggregation (sweep merges per-replica digests instead of
+// concatenating samples). Nil on buffered (non-Streaming) runs.
+func (r DayResult) Digests() map[string]*stats.TDigest {
+	if d, ok := r.Latencies.(*stats.TDigest); ok {
+		return map[string]*stats.TDigest{"latency-s": d}
+	}
+	return nil
 }
 
 // Coverage returns the live Slurm-level coverage (used time share).
@@ -253,7 +285,8 @@ func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayRe
 			})
 		}
 		gen = loadgen.New(fed.Sim, fed,
-			loadgen.Config{QPS: cfg.QPS, Actions: actions, Duration: cfg.Horizon, BucketLen: time.Minute})
+			loadgen.Config{QPS: cfg.QPS, Actions: actions, Duration: cfg.Horizon,
+				BucketLen: time.Minute, Streaming: cfg.Streaming})
 		gen.Start()
 	}
 
@@ -285,10 +318,22 @@ func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayRe
 	if gen != nil {
 		res.Load = gen.Report()
 		res.Series = gen.Series
+		res.Latencies = gen.Latencies
+		res.MetricsBytes += gen.Series.Footprint() + gen.Latencies.Footprint()
 	}
-	res.SimReadyPerMinute = res.Sim.Ready.Buckets(time.Minute)
-	res.HealthyPerMinute = sys.Manager.States.Healthy.Buckets(time.Minute)
-	res.SlurmPerMinute = slurmPerMinute(sys.Logger.Entries, cfg.Horizon)
+	res.MetricsBytes += sys.Logger.Footprint() +
+		sys.Manager.States.Warming.Footprint() +
+		sys.Manager.States.Healthy.Footprint() +
+		sys.Manager.States.Irresp.Footprint()
+	// The per-minute figure panels require the buffered series; a
+	// streaming run deliberately doesn't retain them.
+	if !cfg.Streaming {
+		res.SimReadyPerMinute = res.Sim.Ready.Buckets(time.Minute)
+		if healthy, ok := sys.Manager.States.Healthy.(*stats.TimeWeighted); ok {
+			res.HealthyPerMinute = healthy.Buckets(time.Minute)
+		}
+		res.SlurmPerMinute = slurmPerMinute(sys.Logger.Entries, cfg.Horizon)
+	}
 	return res, nil
 }
 
@@ -340,6 +385,7 @@ func systemConfig(cfg DayConfig) core.SystemConfig {
 	sc.Seed = cfg.Seed + 1000
 	sc.Manager.GracefulHandoff = cfg.GracefulHandoff
 	sc.Manager.InterruptRunning = cfg.InterruptRunning
+	sc.StreamingStats = cfg.Streaming
 	return sc
 }
 

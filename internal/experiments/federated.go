@@ -55,6 +55,13 @@ type FederatedConfig struct {
 	// CloudFallback adds the Alg. 1 commercial-cloud wrapper in front
 	// of the door, so federation-wide 503s off-load instead of failing.
 	CloudFallback bool
+
+	// Streaming switches every metric collector (global and per-site
+	// latencies, worker-state series, Slurm loggers) to O(1)-memory
+	// streaming sketches, as DayConfig.Streaming does for one site. N
+	// sites multiply the buffered-metrics wall, so federations are
+	// where this matters first. Simulation behavior is identical.
+	Streaming bool
 }
 
 // DefaultFederatedConfig returns the 4-site × 100 QPS configuration
@@ -120,6 +127,14 @@ type FederatedRun struct {
 	Spilled     int
 	NoSitePicks int
 	CloudCalls  int
+
+	// Latencies is the global latency collector behind P50/P95/P99 —
+	// a mergeable stats.TDigest under FederatedConfig.Streaming.
+	Latencies stats.Collector
+
+	// MetricsBytes is the retained footprint of this run's metric
+	// collectors across all sites.
+	MetricsBytes int
 }
 
 // SpillShare is the fraction of requests that left their home site.
@@ -205,11 +220,18 @@ func runFederatedOnce(ctx context.Context, cfg FederatedConfig, routing string, 
 
 		sc := core.DefaultSystemConfig(cfg.NodesPerSite, cfg.Policy)
 		sc.Seed = day.Seed + 1000
+		sc.StreamingStats = cfg.Streaming
 		siteCfgs[i] = sc
 	}
 
 	fed := core.NewFederation(core.FederationConfig{Sites: siteCfgs, Routing: routing})
-	fed.Door.CollectLatencies(true) // per-site tail quantiles below
+	// Per-site tail quantiles below: exact buffered samples by default,
+	// O(1)-memory digests under Streaming.
+	if cfg.Streaming {
+		fed.Door.CollectLatenciesWith(func() stats.Collector { return stats.NewTDigest(0) })
+	} else {
+		fed.Door.CollectLatencies(true)
+	}
 	if cfg.CloudFallback {
 		fed.SetFallback(lambda.NewClient(fed.Sim, lambda.DefaultClientConfig(), cfg.Seed+17))
 	}
@@ -238,6 +260,7 @@ func runFederatedOnce(ctx context.Context, cfg FederatedConfig, routing string, 
 	}
 	gen := loadgen.New(fed.Sim, fed, loadgen.Config{
 		QPS: cfg.QPS, Actions: actions, Duration: cfg.Horizon, BucketLen: time.Minute,
+		Streaming: cfg.Streaming,
 	})
 	gen.Start()
 	fed.Start()
@@ -254,7 +277,9 @@ func runFederatedOnce(ctx context.Context, cfg FederatedConfig, routing string, 
 		Load:        gen.Report(),
 		Spilled:     fed.Door.Spilled,
 		NoSitePicks: fed.Door.NoSitePicks,
+		Latencies:   gen.Latencies,
 	}
+	run.MetricsBytes = gen.Series.Footprint() + gen.Latencies.Footprint()
 	if gen.Latencies.Len() > 0 {
 		run.P50 = secondsDur(gen.Latencies.Quantile(0.50))
 		run.P95 = secondsDur(gen.Latencies.Quantile(0.95))
@@ -265,7 +290,7 @@ func runFederatedOnce(ctx context.Context, cfg FederatedConfig, routing string, 
 	}
 
 	end := fed.Sim.Now()
-	healthySeries := make([]*stats.TimeWeighted, 0, len(fed.Sites))
+	healthySeries := make([]stats.TimeSeries, 0, len(fed.Sites))
 	var coverage float64
 	for i, site := range fed.Sites {
 		ow := site.Manager.OWStats(end) // finishes the state series
@@ -283,11 +308,18 @@ func runFederatedOnce(ctx context.Context, cfg FederatedConfig, routing string, 
 		if completed > 0 {
 			s.Share503 = float64(s.N503) / float64(completed)
 		}
-		if lat := &fed.Door.LatencyBySite[i]; lat.Len() > 0 {
+		if lat := fed.Door.LatencyBySite[i]; lat != nil && lat.Len() > 0 {
 			s.P50 = secondsDur(lat.Quantile(0.50))
 			s.P95 = secondsDur(lat.Quantile(0.95))
 			s.P99 = secondsDur(lat.Quantile(0.99))
 		}
+		if lat := fed.Door.LatencyBySite[i]; lat != nil {
+			run.MetricsBytes += lat.Footprint()
+		}
+		run.MetricsBytes += site.Logger.Footprint() +
+			site.Manager.States.Warming.Footprint() +
+			site.Manager.States.Healthy.Footprint() +
+			site.Manager.States.Irresp.Footprint()
 		run.Sites = append(run.Sites, s)
 		healthySeries = append(healthySeries, site.Manager.States.Healthy)
 		coverage += slurm.ShareUsed * float64(siteCfgs[i].Nodes)
@@ -299,8 +331,45 @@ func runFederatedOnce(ctx context.Context, cfg FederatedConfig, routing string, 
 	if nodes > 0 {
 		run.GlobalCoverage = coverage / nodes
 	}
-	run.GlobalHealthyAvg = stats.SumTimeWeighted(healthySeries...).TimeMean()
+	// Buffered runs keep the event-sweep merge (the exact pre-streaming
+	// value, last-ULP included); streaming runs use the integral
+	// identity Σ∫vᵢdt / span, which needs no buffered segments and is
+	// mathematically the same quantity.
+	if buffered := bufferedSeries(healthySeries); buffered != nil {
+		run.GlobalHealthyAvg = stats.SumTimeWeighted(buffered...).TimeMean()
+	} else {
+		run.GlobalHealthyAvg = stats.SumTimeMeanOf(healthySeries...)
+	}
 	return run, nil
+}
+
+// bufferedSeries down-casts a series set to the buffered type, or nil
+// if any member is a streaming series.
+func bufferedSeries(series []stats.TimeSeries) []*stats.TimeWeighted {
+	out := make([]*stats.TimeWeighted, len(series))
+	for i, s := range series {
+		tw, ok := s.(*stats.TimeWeighted)
+		if !ok {
+			return nil
+		}
+		out[i] = tw
+	}
+	return out
+}
+
+// Digests exposes each routing run's global latency digest for
+// sweep-level merging; nil when the run was buffered (non-Streaming).
+func (r FederatedResult) Digests() map[string]*stats.TDigest {
+	out := map[string]*stats.TDigest{}
+	for _, run := range r.Runs {
+		if d, ok := run.Latencies.(*stats.TDigest); ok {
+			out[run.Routing+"-latency-s"] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Metrics flattens the comparison for the sweep engine: per routing

@@ -27,6 +27,9 @@ func (r DayResult) Metrics() map[string]float64 {
 		m["lost-share"] = r.Load.LostShare
 		m["median-latency-ms"] = float64(r.Load.MedianLatency.Milliseconds())
 	}
+	if r.Config.Streaming {
+		m["metrics-bytes"] = float64(r.MetricsBytes)
+	}
 	return m
 }
 

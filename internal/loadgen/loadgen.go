@@ -46,6 +46,14 @@ type Config struct {
 
 	// Seed drives the weighted selection (unused for round-robin).
 	Seed int64
+
+	// Streaming switches the collectors from exact buffered series
+	// (MinuteSeries + Sample, O(requests) memory) to O(1)-memory
+	// streaming sketches (WindowedCounts + TDigest). Totals and shares
+	// stay exact; latency quantiles come within stats.Epsilon rank
+	// error; per-minute rows are limited to the retained tail. Off by
+	// default so every golden-pinned artifact keeps exact collection.
+	Streaming bool
 }
 
 // DefaultConfig returns the §V-C setup over the given action names.
@@ -67,8 +75,11 @@ type Generator struct {
 	backend Backend
 	cfg     Config
 
-	Series    *stats.MinuteSeries
-	Latencies stats.Sample // successful responses only, seconds
+	// Series counts response classes per bucket; Latencies collects
+	// successful-response latencies in seconds. Both are buffered-exact
+	// by default and streaming sketches under Config.Streaming.
+	Series    stats.SeriesCollector
+	Latencies stats.Collector
 
 	// Counters.
 	Issued    int
@@ -94,10 +105,15 @@ func New(sim *des.Sim, backend Backend, cfg Config) *Generator {
 		cfg.BucketLen = time.Minute
 	}
 	g := &Generator{
-		sim:     sim,
-		backend: backend,
-		cfg:     cfg,
-		Series:  stats.NewMinuteSeries(cfg.BucketLen),
+		sim:       sim,
+		backend:   backend,
+		cfg:       cfg,
+		Series:    stats.NewMinuteSeries(cfg.BucketLen),
+		Latencies: &stats.Sample{},
+	}
+	if cfg.Streaming {
+		g.Series = stats.NewWindowedCounts(cfg.BucketLen, stats.DefaultWindowKeep)
+		g.Latencies = stats.NewTDigest(stats.DefaultCompression)
 	}
 	g.doneFn = g.onDone
 	if cfg.Weights != nil {

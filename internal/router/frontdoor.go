@@ -28,13 +28,15 @@ type FrontDoor struct {
 	// (seconds) backing View.Latency.
 	lat []float64
 
-	// LatencyBySite collects every successful end-to-end latency per
-	// site (seconds), for the per-site tail quantiles of the federated
-	// experiments. Empty unless CollectLatencies(true) was called: the
-	// growing samples are the one measurement that would break the
-	// door's allocation-free request path, so plain runs skip them (the
-	// EWMA backing View.Latency is always maintained).
-	LatencyBySite []stats.Sample
+	// LatencyBySite collects successful end-to-end latencies per site
+	// (seconds), for the per-site tail quantiles of the federated
+	// experiments. Nil entries unless CollectLatencies(true) — exact
+	// buffered Samples — or CollectLatenciesWith — any collector, e.g.
+	// O(1)-memory stats.TDigest sketches — was called: growing samples
+	// are the one measurement that would break the door's
+	// allocation-free request path, so plain runs skip them (the EWMA
+	// backing View.Latency is always maintained).
+	LatencyBySite []stats.Collector
 
 	// collectLatency gates LatencyBySite; see CollectLatencies.
 	collectLatency bool
@@ -98,7 +100,7 @@ func NewFrontDoor(sites []Site, pol RoutingPolicy) *FrontDoor {
 		sites:         sites,
 		policy:        pol,
 		lat:           make([]float64, len(sites)),
-		LatencyBySite: make([]stats.Sample, len(sites)),
+		LatencyBySite: make([]stats.Collector, len(sites)),
 		IssuedBySite:  make([]int, len(sites)),
 		SpillsIn:      make([]int, len(sites)),
 	}
@@ -110,9 +112,30 @@ func NewFrontDoor(sites []Site, pol RoutingPolicy) *FrontDoor {
 func (fd *FrontDoor) Policy() RoutingPolicy { return fd.policy }
 
 // CollectLatencies turns the per-site latency samples (LatencyBySite)
-// on or off. Off by default: the samples grow with the request count,
-// and the plain day path must stay allocation-free per request.
-func (fd *FrontDoor) CollectLatencies(on bool) { fd.collectLatency = on }
+// on or off, with exact buffered stats.Sample collectors. Off by
+// default: the samples grow with the request count, and the plain day
+// path must stay allocation-free per request.
+func (fd *FrontDoor) CollectLatencies(on bool) {
+	fd.collectLatency = on
+	if on {
+		for i := range fd.LatencyBySite {
+			if fd.LatencyBySite[i] == nil {
+				fd.LatencyBySite[i] = &stats.Sample{}
+			}
+		}
+	}
+}
+
+// CollectLatenciesWith enables per-site latency collection into
+// factory-built collectors — e.g. func() stats.Collector { return
+// stats.NewTDigest(0) } for O(1)-memory quantile sketches on
+// week-scale federated runs.
+func (fd *FrontDoor) CollectLatenciesWith(factory func() stats.Collector) {
+	fd.collectLatency = true
+	for i := range fd.LatencyBySite {
+		fd.LatencyBySite[i] = factory()
+	}
+}
 
 // Home returns the action's hash-derived home site — the same
 // stable-modulus symmetry the whisk controller uses for home invokers,

@@ -28,6 +28,45 @@ func init() {
 		experiments.VarDay, "var"))
 
 	Register(Spec{
+		Name:        "week-day",
+		Artifact:    "beyond the paper",
+		Description: "a production day stretched to a week: O(1)-memory streaming metrics over a 7-day horizon",
+		Axes:        []string{"nodes", "horizon", "policy", "qps"},
+		Options: []OptionDoc{
+			{Name: "day", Kind: KindString, Default: "fib", Help: "base calibration to stretch over the week: fib or var"},
+			{Name: "actions", Kind: KindInt, Default: "100", Help: "number of sleep functions under load"},
+			{Name: "sleep-exec", Kind: KindDuration, Default: "10ms", Help: "in-container execution time per call"},
+			{Name: "streaming", Kind: KindBool, Default: "true", Help: "O(1)-memory streaming metrics (off: buffered collectors whose memory grows with the horizon)"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			base, defPolicy := experiments.FibDay, "fib"
+			switch d := cfg.String("day", "fib"); d {
+			case "fib":
+			case "var":
+				base, defPolicy = experiments.VarDay, "var"
+			default:
+				return nil, fmt.Errorf("scenario: week-day wants day=fib or day=var, got %q", d)
+			}
+			day := base(cfg.Seed())
+			day.Policy = cfg.Policy(defPolicy)
+			if _, err := policy.New(day.Policy); err != nil {
+				return nil, err
+			}
+			day.Horizon = cfg.Horizon(experiments.Week)
+			day.Nodes = cfg.Nodes(day.Nodes)
+			day.QPS = cfg.QPS(day.QPS)
+			day.NumActions = cfg.Int("actions", day.NumActions)
+			day.SleepExec = cfg.Duration("sleep-exec", day.SleepExec)
+			day.Streaming = cfg.Bool("streaming", true)
+			r, err := experiments.RunDayCtx(ctx, day, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), dayTable(r)), nil
+		},
+	})
+
+	Register(Spec{
 		Name:        "federated-day",
 		Artifact:    "beyond the paper",
 		Description: "cluster-of-clusters: N sites behind the routing front door, one run per routing policy",
@@ -38,6 +77,7 @@ func init() {
 			{Name: "cloud-fallback", Kind: KindBool, Default: "false", Help: "off-load federation-wide 503s to the commercial cloud (Alg. 1)"},
 			{Name: "actions", Kind: KindInt, Default: "100", Help: "number of sleep functions under load"},
 			{Name: "sleep-exec", Kind: KindDuration, Default: "10ms", Help: "in-container execution time per call"},
+			{Name: "streaming", Kind: KindBool, Default: "false", Help: "O(1)-memory streaming metrics (t-digest quantiles, windowed series)"},
 		},
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			fc := experiments.DefaultFederatedConfig(cfg.Seed())
@@ -55,6 +95,7 @@ func init() {
 			fc.NumActions = cfg.Int("actions", fc.NumActions)
 			fc.SleepExec = cfg.Duration("sleep-exec", fc.SleepExec)
 			fc.CloudFallback = cfg.Bool("cloud-fallback", fc.CloudFallback)
+			fc.Streaming = cfg.Bool("streaming", false)
 			if names := cfg.String("routing", ""); names != "" {
 				fc.Routing = splitList(names)
 				// The federation resolves these on construction, so an
@@ -177,12 +218,16 @@ func init() {
 		Artifact:    "§III-C ablation",
 		Description: "hand-off design points (full protocol / no interrupt / hard kill) on one day",
 		Axes:        []string{"nodes", "horizon", "policy"},
+		Options: []OptionDoc{
+			{Name: "streaming", Kind: KindBool, Default: "false", Help: "O(1)-memory streaming metrics (t-digest quantiles, windowed series)"},
+		},
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			a := experiments.AblationConfig{
-				Nodes:   cfg.Nodes(256),
-				Horizon: cfg.Horizon(4 * time.Hour),
-				Seed:    cfg.Seed(),
-				Policy:  cfg.Policy(""),
+				Nodes:     cfg.Nodes(256),
+				Horizon:   cfg.Horizon(4 * time.Hour),
+				Seed:      cfg.Seed(),
+				Policy:    cfg.Policy(""),
+				Streaming: cfg.Bool("streaming", false),
 			}
 			r, err := experiments.RunAblationCtx(ctx, a, cfg.Progress())
 			if err != nil {
@@ -296,6 +341,7 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			{Name: "sleep-exec", Kind: KindDuration, Default: "10ms", Help: "in-container execution time per call"},
 			{Name: "graceful-handoff", Kind: KindBool, Default: "true", Help: "enable the §III-C hand-off protocol"},
 			{Name: "interrupt-running", Kind: KindBool, Default: "true", Help: "interrupt mid-execution activations on reclaim"},
+			{Name: "streaming", Kind: KindBool, Default: "false", Help: "O(1)-memory streaming metrics (t-digest quantiles, windowed series)"},
 		},
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			day := base(cfg.Seed())
@@ -312,6 +358,7 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			day.SleepExec = cfg.Duration("sleep-exec", day.SleepExec)
 			day.GracefulHandoff = cfg.Bool("graceful-handoff", day.GracefulHandoff)
 			day.InterruptRunning = cfg.Bool("interrupt-running", day.InterruptRunning)
+			day.Streaming = cfg.Bool("streaming", false)
 			r, err := experiments.RunDayCtx(ctx, day, cfg.Progress())
 			if err != nil {
 				return nil, err

@@ -10,8 +10,9 @@ import (
 
 // catalogNames is the full paper catalog this package must register.
 var catalogNames = []string{
-	"ablation", "endogenous", "fib-day", "fig1", "fig2", "fig3", "fig7",
-	"policy-comparison", "scientific", "table1", "var-day",
+	"ablation", "endogenous", "federated-day", "fib-day", "fig1", "fig2",
+	"fig3", "fig7", "policy-comparison", "scientific", "table1",
+	"var-day", "week-day",
 }
 
 func TestCatalogComplete(t *testing.T) {
@@ -95,6 +96,28 @@ func TestValidateCatchesBadOptions(t *testing.T) {
 	}
 	if err := Validate("fig2", WithOption("jobs", "100"), WithSeed(3)); err != nil {
 		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// TestWeekDayScenario: the week-scale scenario defaults to streaming
+// collectors (reported via the metrics-bytes metric), rejects an
+// unknown base day, and runs a scaled-down horizon end to end.
+func TestWeekDayScenario(t *testing.T) {
+	if _, err := Run(context.Background(), "week-day", WithOption("day", "mon")); err == nil ||
+		!strings.Contains(err.Error(), "day=fib or day=var") {
+		t.Errorf("err = %v, want bad-day error", err)
+	}
+	res, err := Run(context.Background(), "week-day",
+		WithSeed(4), WithNodes(64), WithHorizon(time.Hour), WithQPS(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics()
+	if m["metrics-bytes"] <= 0 {
+		t.Errorf("streaming run reports metrics-bytes = %v, want > 0", m["metrics-bytes"])
+	}
+	if m["success-share"] <= 0 {
+		t.Errorf("no successful requests: %v", m)
 	}
 }
 

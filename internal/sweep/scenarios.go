@@ -8,7 +8,19 @@ import (
 	"sync"
 
 	"repro/internal/scenario"
+	"repro/internal/stats"
 )
+
+// DigestProvider is the structural contract a typed experiment result
+// implements to expose mergeable quantile sketches: a streaming-mode
+// run (experiments.DayResult, experiments.FederatedResult with
+// Streaming set) returns its t-digests keyed by stable metric-like
+// names. SweepScenarios probes every replica's Unwrap() against it, so
+// any scenario gains cross-replica quantile merging just by returning
+// a result with a Digests method — no sweep-side glue.
+type DigestProvider interface {
+	Digests() map[string]*stats.TDigest
+}
 
 // ScenarioPoint is one grid cell over the scenario registry: a
 // scenario name plus the options fixing this cell's parameters. The
@@ -54,16 +66,20 @@ func SweepScenarios(cfg Config, cells []ScenarioPoint) ([]Result, error) {
 		}
 		points[i] = Point{
 			Name: name,
-			Run: func(seed int64) Metrics {
+			RunSketched: func(seed int64) (Metrics, map[string]*stats.TDigest) {
 				opts := append(append([]scenario.Option(nil), cell.Options...), scenario.WithSeed(seed))
 				res, err := scenario.Run(context.Background(), cell.Scenario, opts...)
 				if err != nil {
 					mu.Lock()
 					runErrs = append(runErrs, fmt.Errorf("%s (seed %d): %w", name, seed, err))
 					mu.Unlock()
-					return nil
+					return nil, nil
 				}
-				return res.Metrics()
+				var digs map[string]*stats.TDigest
+				if dp, ok := res.Unwrap().(DigestProvider); ok {
+					digs = dp.Digests()
+				}
+				return res.Metrics(), digs
 			},
 		}
 	}

@@ -1,10 +1,12 @@
 package sweep
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/scenario"
+	"repro/internal/stats"
 )
 
 // TestSweepScenariosValidatesUpfront: a bad cell fails the whole call
@@ -74,6 +76,85 @@ func TestSweepSurvivesNilFirstReplica(t *testing.T) {
 	if s.N != 2 {
 		t.Fatalf("metric x aggregated over %d replicas, want the 2 successes (values %v)",
 			s.N, res[0].Values["x"])
+	}
+}
+
+// TestSweepMergesSketches: a point run via RunSketched gets its
+// per-replica t-digests merged in replica order into Result.Digests —
+// identically across worker counts — while plain Run points stay
+// digest-free.
+func TestSweepMergesSketches(t *testing.T) {
+	run := func(workers int) []Result {
+		return Sweep(Config{Replicas: 4, Workers: workers, BaseSeed: 3}, []Point{
+			{
+				Name: "sketched",
+				RunSketched: func(seed int64) (Metrics, map[string]*stats.TDigest) {
+					d := stats.NewTDigest(0)
+					// A deterministic per-seed stream: 1000 observations
+					// spread by the seed so replicas differ.
+					for i := 0; i < 1000; i++ {
+						d.Add(float64(i%97) + float64(seed%13))
+					}
+					return Metrics{"n": float64(d.Len())}, map[string]*stats.TDigest{"v": d}
+				},
+			},
+			{Name: "plain", Run: func(seed int64) Metrics { return Metrics{"n": 1} }},
+		})
+	}
+	res := run(1)
+	merged := res[0].Digests["v"]
+	if merged == nil {
+		t.Fatal("sketched point has no merged digest")
+	}
+	if merged.Len() != 4000 {
+		t.Errorf("merged digest holds %d observations, want 4×1000", merged.Len())
+	}
+	if res[1].Digests != nil {
+		t.Errorf("plain point grew digests: %v", res[1].Digests)
+	}
+	res4 := run(4)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		a, b := merged.Quantile(p), res4[0].Digests["v"].Quantile(p)
+		if a != b {
+			t.Errorf("q(%.1f): 1-worker %v vs 4-worker %v — merge order not deterministic", p, a, b)
+		}
+	}
+}
+
+// TestSweepScenariosMergesStreamingDigests: a streaming-mode catalog
+// scenario exposes its latency digest through the DigestProvider
+// contract, so the sweep returns one cross-replica merged sketch whose
+// count is the sum of the replicas' successful requests.
+func TestSweepScenariosMergesStreamingDigests(t *testing.T) {
+	cfg := Config{Replicas: 2, BaseSeed: 7}
+	opts := []scenario.Option{
+		scenario.WithNodes(64), scenario.WithHorizon(30 * 60 * 1e9),
+		scenario.WithQPS(2), scenario.WithOption("actions", "10"),
+	}
+	res, err := SweepScenarios(cfg, []ScenarioPoint{
+		{Name: "buffered", Scenario: "fib-day", Options: opts},
+		{Name: "streaming", Scenario: "fib-day",
+			Options: append(append([]scenario.Option(nil), opts...), scenario.WithOption("streaming", "true"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Digests != nil {
+		t.Errorf("buffered cell grew digests: %v", res[0].Digests)
+	}
+	d := res[1].Digests["latency-s"]
+	if d == nil {
+		t.Fatal("streaming cell has no merged latency digest")
+	}
+	if d.Len() == 0 || math.IsNaN(d.Quantile(0.5)) {
+		t.Errorf("merged digest unusable: n=%d", d.Len())
+	}
+	// Identical scalar metrics either way: streaming only changes what
+	// the collectors retain, never the simulation.
+	for _, name := range []string{"pilots-started", "invoked-share", "success-share"} {
+		if a, b := res[0].Metrics[name].Mean, res[1].Metrics[name].Mean; a != b {
+			t.Errorf("%s: buffered %v vs streaming %v", name, a, b)
+		}
 	}
 }
 

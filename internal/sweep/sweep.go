@@ -67,6 +67,14 @@ func (c Config) Seeds() []int64 {
 type Point struct {
 	Name string
 	Run  func(seed int64) Metrics
+
+	// RunSketched, when non-nil, is used instead of Run: it returns the
+	// replica's scalar metrics plus its mergeable quantile sketches
+	// (keyed by stable names, e.g. "latency-s"). The sweep merges the
+	// per-replica digests into Result.Digests in replica order —
+	// O(compression) retained bytes per key regardless of replica count,
+	// instead of concatenating raw samples across replicas.
+	RunSketched func(seed int64) (Metrics, map[string]*stats.TDigest)
 }
 
 // Result aggregates the replicas of one grid point.
@@ -85,6 +93,12 @@ type Result struct {
 	// Values holds the raw per-replica series (replica order) behind
 	// each aggregate, for CDFs or external re-analysis.
 	Values map[string][]float64 `json:"values"`
+
+	// Digests holds the cross-replica merged quantile sketches of a
+	// point run via Point.RunSketched (nil otherwise, and omitted from
+	// serialization — read quantiles off and report those). Merging is
+	// in replica order, so the sketch is identical across worker counts.
+	Digests map[string]*stats.TDigest `json:"-"`
 }
 
 // Replicate runs one experiment across cfg.Replicas decorrelated seeds
@@ -107,8 +121,10 @@ func Sweep(cfg Config, points []Point) []Result {
 	type job struct{ point, rep int }
 	jobs := make(chan job)
 	raw := make([][]Metrics, len(points))
+	sketches := make([][]map[string]*stats.TDigest, len(points))
 	for i := range raw {
 		raw[i] = make([]Metrics, cfg.Replicas)
+		sketches[i] = make([]map[string]*stats.TDigest, cfg.Replicas)
 	}
 
 	var wg sync.WaitGroup
@@ -117,7 +133,11 @@ func Sweep(cfg Config, points []Point) []Result {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				raw[j.point][j.rep] = points[j.point].Run(seeds[j.rep])
+				if p := points[j.point]; p.RunSketched != nil {
+					raw[j.point][j.rep], sketches[j.point][j.rep] = p.RunSketched(seeds[j.rep])
+				} else {
+					raw[j.point][j.rep] = p.Run(seeds[j.rep])
+				}
 			}
 		}()
 	}
@@ -132,6 +152,32 @@ func Sweep(cfg Config, points []Point) []Result {
 	out := make([]Result, len(points))
 	for p := range points {
 		out[p] = aggregate(points[p].Name, seeds, raw[p])
+		out[p].Digests = mergeSketches(sketches[p])
+	}
+	return out
+}
+
+// mergeSketches folds the per-replica digest maps of one point, in
+// replica order, into one merged sketch per key. Replicas missing a key
+// (or whole replicas that failed) contribute nothing to it. The first
+// contributing replica's digest is cloned, so replica results stay
+// untouched.
+func mergeSketches(reps []map[string]*stats.TDigest) map[string]*stats.TDigest {
+	var out map[string]*stats.TDigest
+	for _, rep := range reps {
+		for key, d := range rep {
+			if d == nil {
+				continue
+			}
+			if out == nil {
+				out = map[string]*stats.TDigest{}
+			}
+			if have := out[key]; have != nil {
+				have.Merge(d)
+			} else {
+				out[key] = d.Clone()
+			}
+		}
 	}
 	return out
 }
