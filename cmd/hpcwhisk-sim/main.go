@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	nodes := fs.Int("nodes", experiments.PrometheusNodes, "cluster size")
 	hours := fs.Int("hours", 24, "experiment length in hours")
 	qps := fs.Float64("qps", 10, "responsiveness load (0 disables)")
+	shards := fs.Int("shards", 1, "site shards run in parallel under the pdes coordinator (>1; byte-identical to sequential)")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; 0 runs to completion (^C also cancels)")
 	minutes := fs.Bool("minutes", false, "print the per-minute Fig 5b/6b series (day scenarios)")
 	series := fs.Bool("series", false, "print the per-minute worker-count panels (Fig 5a/6a, day scenarios)")
@@ -101,6 +103,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, scenario.WithPolicy(policySel))
 	}
 	opts = append(opts, sets.Options()...)
+	// -shards is sugar for -set shards=N; appended after the sets so the
+	// dedicated flag wins when both are given.
+	if explicit["shards"] {
+		if *shards < 1 {
+			fmt.Fprintf(stderr, "-shards wants a positive shard count, got %d\n", *shards)
+			return 2
+		}
+		opts = append(opts, scenario.WithOption("shards", strconv.Itoa(*shards)))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

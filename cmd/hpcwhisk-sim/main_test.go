@@ -147,3 +147,38 @@ func TestModeFlagStillWorks(t *testing.T) {
 		t.Errorf("output lacks the var-day header:\n%s", out.String())
 	}
 }
+
+// TestShardsFlag: -shards reaches the scenario as its shards option —
+// the sharded run renders byte-identically to the sequential one — and
+// invalid shard counts are rejected with exit 2 before anything runs.
+func TestShardsFlag(t *testing.T) {
+	render := func(extra ...string) []byte {
+		var out, errb bytes.Buffer
+		args := append([]string{"-policy", "fib", "-nodes", "48", "-hours", "1", "-qps", "2", "-seed", "7"}, extra...)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", args, code, errb.String())
+		}
+		return stripTiming(out.Bytes())
+	}
+	if !bytes.Equal(render(), render("-shards", "2")) {
+		t.Error("-shards 2 rendered differently from the sequential run")
+	}
+
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-shards", "0"}, "positive shard count"},
+		{[]string{"-scenario", "fig2", "-shards", "2"}, "no option"},
+		{[]string{"-set", "shards=two"}, "does not parse"},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit %d, want 2", tc.args, code)
+		}
+		if !strings.Contains(errb.String(), tc.wantErr) {
+			t.Errorf("%v: stderr %q lacks %q", tc.args, errb.String(), tc.wantErr)
+		}
+	}
+}

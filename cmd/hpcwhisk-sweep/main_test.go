@@ -221,3 +221,37 @@ func TestRunWorkerCountInvariant(t *testing.T) {
 		t.Error("1-worker and 4-worker sweeps rendered differently")
 	}
 }
+
+// TestShardsFlag: -shards lands on every grid cell — the sharded sweep
+// renders bit-identically to the sequential one — and invalid counts
+// or cells whose scenario has no shards option fail before anything
+// runs.
+func TestShardsFlag(t *testing.T) {
+	render := func(extra ...string) []byte {
+		var out, errb bytes.Buffer
+		args := append([]string{"-policy", "fib", "-qps", "0", "-nodes", "48", "-hours", "1",
+			"-replicas", "2", "-seed", "9", "-format", "csv"}, extra...)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d: %s", args, code, errb.String())
+		}
+		return out.Bytes()
+	}
+	if !bytes.Equal(render(), render("-shards", "2")) {
+		t.Error("sharded sweep rendered differently from the sequential one")
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-shards", "0"}, &out, &errb); code != 2 {
+		t.Errorf("-shards 0: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "positive shard count") {
+		t.Errorf("stderr %q lacks the shard-count error", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-scenario", "fig2", "-shards", "2", "-replicas", "1"}, &out, &errb); code != 2 {
+		t.Errorf("fig2 -shards: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no option") {
+		t.Errorf("stderr %q lacks the no-option error", errb.String())
+	}
+}

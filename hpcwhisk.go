@@ -156,10 +156,13 @@ func DefaultConfigMode(nodes int, mode Mode) SystemConfig {
 // New builds a deployment.
 func New(cfg SystemConfig) *System { return core.NewSystem(cfg) }
 
-// Federation layer: N independent Slurm+whisk sites share one virtual
-// clock behind a routing front door, so a single simulation models a
-// cluster-of-clusters. Routing policies live in their own registry,
-// mirroring the supply-policy one.
+// Federation layer: N independent Slurm+whisk sites advance on one
+// synchronized virtual timeline behind a routing front door, so a
+// single simulation models a cluster-of-clusters. With
+// FederationConfig.Shards > 1 the sites run on their own event planes
+// across CPU cores under the internal/pdes lookahead coordinator,
+// byte-identically to the sequential run. Routing policies live in
+// their own registry, mirroring the supply-policy one.
 
 // Site is one deployment inside a federation (a System owns exactly
 // one plus its clock).
@@ -187,7 +190,8 @@ func UniformFederationConfig(n int, base SiteConfig) FederationConfig {
 }
 
 // FrontDoor is the federation's client entry point: per-action home
-// sites plus a routing policy over the live per-site health view.
+// sites plus a routing policy over the per-site health view (live on
+// 1-site doors, snapshot-consistent in multi-site federations).
 type FrontDoor = router.FrontDoor
 
 // RoutingPolicy picks a target site per request from the health view.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/dist"
+	"repro/internal/pdes"
 	"repro/internal/policy"
 	"repro/internal/router"
 	"repro/internal/whisk"
@@ -34,8 +35,26 @@ type FederationConfig struct {
 	// client-side wrapper (§III-E): a federation-wide 503 — every site
 	// unhealthy or the picked site refusing — off-loads to this backend
 	// (e.g. the commercial-cloud model of internal/lambda) for the
-	// cooldown window.
+	// cooldown window. Incompatible with Shards > 1: the wrapper's
+	// cooldown state couples completions to subsequent arrivals, which
+	// breaks the sharded run's lookahead contract (see internal/pdes).
 	Fallback Backend
+
+	// Shards > 1 builds each site on its own event plane and runs the
+	// federation under the conservative pdes coordinator with
+	// min(Shards, len(Sites)) worker goroutines; ≤ 1 keeps the
+	// sequential shared-plane execution. Both modes produce
+	// byte-identical output (the pdes determinism contract); sharding
+	// only changes wall-clock time.
+	Shards int
+
+	// SnapshotInterval overrides the routing health-snapshot refresh
+	// period of multi-site federations (≤ 0 means
+	// router.DefaultSnapshotInterval). It is also the sharded run's
+	// lookahead window. Ignored for 1-site federations, which keep
+	// live health reads (every pick lands on the only site either
+	// way, and the fib/var day goldens pin that path).
+	SnapshotInterval time.Duration
 }
 
 // UniformFederationConfig builds an n-site federation of identical
@@ -60,21 +79,30 @@ func UniformFederationConfig(n int, base SiteConfig) FederationConfig {
 	return FederationConfig{Sites: sites, Routing: DefaultRouting}
 }
 
-// Federation hosts N sites on one DES plane behind a routing front
-// door. Clients invoke through the federation (or its Door/Wrap
-// directly); each site's pilot manager, Slurm emulator, and logger run
-// independently on the shared clock.
+// Federation hosts N sites behind a routing front door. Sequential
+// (Shards ≤ 1): all sites share one DES plane. Sharded: each site has
+// its own plane, Sim is the front plane (load generator, door
+// bookkeeping), and the pdes coordinator advances them in lockstep
+// lookahead windows — byte-identically to the sequential run. Clients
+// invoke through the federation (or its Door/Wrap directly); each
+// site's pilot manager, Slurm emulator, and logger run independently.
 type Federation struct {
 	Sim   *des.Sim
 	Sites []*Site
 
 	// Door is the routing front door: home-site hashing plus the
-	// configured routing policy over the live per-site health view.
+	// configured routing policy over the per-site health view —
+	// grid-snapshot-consistent for multi-site federations, live for
+	// 1-site ones.
 	Door *router.FrontDoor
 
 	// Wrap is the Alg. 1 wrapper over the front door; nil unless the
 	// config set a Fallback backend.
 	Wrap *Wrapper
+
+	// coord is the conservative parallel coordinator; nil in the
+	// sequential mode.
+	coord *pdes.Coordinator
 }
 
 // doorBackend adapts the front door to core.Backend (the wrapper's
@@ -88,12 +116,36 @@ func (b doorBackend) Invoke(action string, done func(*whisk.Invocation)) *whisk.
 	return nil
 }
 
-// NewFederation builds the sites on one fresh simulation plane and
-// wires the front door. An empty Sites list or an unknown routing
-// policy is a configuration bug and panics.
+// shardSite adapts one sharded site for the front door: Invoke queues
+// a timestamped inter-shard message on the site's pdes inbox, and the
+// health getters read the site directly — the coordinator only calls
+// them at grid barriers (the door's Refresh), when every shard rests
+// at exactly the barrier instant.
+type shardSite struct {
+	sh   *pdes.Shard
+	site *Site
+}
+
+func (p *shardSite) Invoke(action string, done func(*whisk.Invocation)) {
+	p.sh.Invoke(action, done)
+}
+func (p *shardSite) HealthyInvokers() int  { return p.site.HealthyInvokers() }
+func (p *shardSite) Utilization() float64  { return p.site.Utilization() }
+func (p *shardSite) QueueDepth() int       { return p.site.QueueDepth() }
+func (p *shardSite) FastLaneDepth() int    { return p.site.FastLaneDepth() }
+func (p *shardSite) DrainingInvokers() int { return p.site.DrainingInvokers() }
+
+// NewFederation builds the sites and wires the front door — on one
+// shared simulation plane (Shards ≤ 1), or on per-site planes under
+// the conservative pdes coordinator (Shards > 1). An empty Sites
+// list, an unknown routing policy, or a Fallback on a sharded
+// federation is a configuration bug and panics.
 func NewFederation(cfg FederationConfig) *Federation {
 	if len(cfg.Sites) == 0 {
 		panic("core: a federation needs at least one site")
+	}
+	if cfg.Fallback != nil && cfg.Shards > 1 {
+		panic("core: a sharded federation cannot host the Alg. 1 fallback wrapper (completion-coupled cooldown state breaks the lookahead contract)")
 	}
 	routing := cfg.Routing
 	if routing == "" {
@@ -103,16 +155,41 @@ func NewFederation(cfg FederationConfig) *Federation {
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
-	sim := des.New()
-	f := &Federation{Sim: sim, Sites: make([]*Site, len(cfg.Sites))}
+	snap := cfg.SnapshotInterval
+	if snap <= 0 {
+		snap = router.DefaultSnapshotInterval
+	}
+	front := des.New()
+	f := &Federation{Sim: front, Sites: make([]*Site, len(cfg.Sites))}
 	rsites := make([]router.Site, len(cfg.Sites))
-	for i, sc := range cfg.Sites {
-		f.Sites[i] = NewSite(sim, sc)
-		rsites[i] = f.Sites[i]
+	if cfg.Shards > 1 {
+		f.coord = pdes.New(front, snap, cfg.Shards)
+		for i, sc := range cfg.Sites {
+			ssim := des.New()
+			f.Sites[i] = NewSite(ssim, sc)
+			rsites[i] = &shardSite{sh: f.coord.AddShard(ssim, f.Sites[i]), site: f.Sites[i]}
+		}
+	} else {
+		for i, sc := range cfg.Sites {
+			f.Sites[i] = NewSite(front, sc)
+			rsites[i] = f.Sites[i]
+		}
 	}
 	f.Door = router.NewFrontDoor(rsites, pol)
+	// Multi-site federations route from grid-snapshot health views in
+	// both modes — the snapshot grid is the sharded run's lookahead
+	// window, and the sequential run adopts the same grid so the two
+	// stay byte-identical. 1-site federations keep live reads.
+	if len(cfg.Sites) > 1 {
+		if f.coord != nil {
+			f.Door.EnableSnapshots()
+			f.coord.OnBarrier = f.Door.Refresh
+		} else {
+			f.Door.SnapshotEvery(front, snap)
+		}
+	}
 	if cfg.Fallback != nil {
-		f.Wrap = NewWrapper(sim, doorBackend{f.Door}, cfg.Fallback)
+		f.Wrap = NewWrapper(front, doorBackend{f.Door}, cfg.Fallback)
 	}
 	return f
 }
@@ -120,8 +197,12 @@ func NewFederation(cfg FederationConfig) *Federation {
 // SetFallback wires the Alg. 1 wrapper over the front door after
 // construction — for fallback backends that need the federation's
 // clock (e.g. the commercial-cloud model of internal/lambda, which is
-// built against an existing simulation plane).
+// built against an existing simulation plane). Panics on a sharded
+// federation; see FederationConfig.Fallback.
 func (f *Federation) SetFallback(b Backend) {
+	if f.coord != nil {
+		panic("core: a sharded federation cannot host the Alg. 1 fallback wrapper (completion-coupled cooldown state breaks the lookahead contract)")
+	}
 	f.Wrap = NewWrapper(f.Sim, doorBackend{f.Door}, b)
 }
 
@@ -155,11 +236,27 @@ func (f *Federation) Start() {
 	}
 }
 
-// Run advances the shared plane by d — every site moves together.
-func (f *Federation) Run(d time.Duration) { f.Sim.RunFor(d) }
+// Run advances the federation by d. Sequential mode advances the
+// shared plane; sharded mode drives the pdes coordinator, which
+// advances the front plane and every site shard through the same
+// window in lockstep lookahead intervals. Either way, every event in
+// [now, now+d] fires in the canonical (when, seq) order, so the two
+// modes produce byte-identical state.
+func (f *Federation) Run(d time.Duration) {
+	if f.coord != nil {
+		f.coord.RunFor(d)
+		return
+	}
+	f.Sim.RunFor(d)
+}
 
-// RunCtx advances the shared plane by d in epoch-sized chunks,
-// checking ctx between chunks; see runCtx.
+// RunCtx advances the federation by d in epoch-sized chunks, checking
+// ctx between chunks; see runCtx. Sharded federations chunk the
+// coordinator the same way — cancellation lands on an epoch boundary
+// with every shard synchronized there.
 func (f *Federation) RunCtx(ctx context.Context, d, epoch time.Duration, progress func(done, total time.Duration)) error {
+	if f.coord != nil {
+		return runCtx(f.coord, ctx, d, epoch, progress)
+	}
 	return runCtx(f.Sim, ctx, d, epoch, progress)
 }

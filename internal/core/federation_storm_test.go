@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/whisk"
+	"repro/internal/workload"
+)
+
+// stormTrace generates a high-churn availability trace: short
+// contended/calm alternation so pilots register and get killed every
+// few simulated minutes — a register/kill storm at the §III-B layer.
+func stormTrace(nodes int, horizon time.Duration, seed int64) *workload.Trace {
+	cfg := workload.DefaultIdleProcess(nodes, horizon, seed)
+	cfg.MeanIdleNodes = 4
+	cfg.ContendedMean = 7 * time.Minute
+	cfg.CalmMean = 5 * time.Minute
+	return cfg.Generate()
+}
+
+// stormArrivals pre-generates a bursty invoke storm as a pure function
+// of the seed: exponential inter-arrivals whose rate switches between
+// a base trickle and 15× bursts, with continuous instants so no
+// arrival collides with any grid the simulation populates.
+type stormArrival struct {
+	at     time.Duration
+	action int
+}
+
+func stormArrivals(horizon time.Duration, seed int64, actions int) []stormArrival {
+	r := rand.New(rand.NewSource(seed))
+	var out []stormArrival
+	at := time.Duration(0)
+	for at < horizon {
+		rate := 3.0 // per second
+		if int(at/(2*time.Minute))%3 == 2 {
+			rate *= 15 // storm phase every third 2-minute block
+		}
+		at += time.Duration(r.ExpFloat64() / rate * float64(time.Second))
+		out = append(out, stormArrival{at: at, action: r.Intn(actions)})
+	}
+	return out
+}
+
+// TestFederationStormShardedEventLog is the randomized-storm property
+// test of the sharded runtime: a 5-site federation under register/kill
+// storms (high-churn traces) and invoke storms (bursty arrivals) must
+// produce a byte-identical per-completion event log — outcome, all
+// timestamps, cold-start and requeue history, in completion order —
+// whether it runs sequentially or sharded, across several seeds and
+// shard counts.
+func TestFederationStormShardedEventLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping federation storm replay")
+	}
+	const (
+		sites   = 5
+		horizon = 12 * time.Minute
+		nAct    = 12
+	)
+	actions := make([]string, nAct)
+	for i := range actions {
+		actions[i] = fmt.Sprintf("storm-%02d", i)
+	}
+
+	replay := func(seed int64, shards int) []string {
+		base := DefaultSystemConfig(24, "fib")
+		base.Seed = seed
+		cfg := UniformFederationConfig(sites, base)
+		cfg.Shards = shards
+		fed := NewFederation(cfg)
+		troot := dist.NewRand(seed + 101)
+		for i := range fed.Sites {
+			fed.LoadTrace(i, stormTrace(24, horizon, troot.Int63()))
+		}
+		for _, n := range actions {
+			fed.RegisterAction(&whisk.Action{Name: n, MemoryMB: 256,
+				Exec: whisk.FixedExec(15 * time.Millisecond), Interruptible: true})
+		}
+
+		var log []string
+		for _, a := range stormArrivals(horizon, seed+202, nAct) {
+			action := actions[a.action]
+			fed.Sim.Schedule(a.at, func() {
+				fed.Invoke(action, func(inv *whisk.Invocation) {
+					log = append(log, fmt.Sprintf("%s %v sub=%d done=%d cold=%v req=%d inv=%d",
+						inv.Action.Name, inv.Status, int64(inv.Submitted), int64(inv.Completed),
+						inv.ColdStart, inv.Requeues, inv.InvokerID))
+				})
+			})
+		}
+		fed.Start()
+		fed.Run(horizon + 5*time.Minute)
+		return log
+	}
+
+	for _, seed := range []int64{3, 17, 29} {
+		seq := replay(seed, 1)
+		if len(seq) == 0 {
+			t.Fatalf("seed %d: storm produced no completions", seed)
+		}
+		for _, shards := range []int{2, sites} {
+			shd := replay(seed, shards)
+			if len(seq) != len(shd) {
+				t.Fatalf("seed %d shards %d: %d completions vs %d sequential",
+					seed, shards, len(shd), len(seq))
+			}
+			for i := range seq {
+				if seq[i] != shd[i] {
+					t.Fatalf("seed %d shards %d: event %d diverged\n  sequential: %s\n  sharded:    %s",
+						seed, shards, i, seq[i], shd[i])
+				}
+			}
+		}
+	}
+}

@@ -378,6 +378,63 @@ func (s *Sim) RunUntil(end Time) {
 // RunFor advances the simulation by d, firing every event in that window.
 func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
+// RunBefore fires every event scheduled strictly before end, then
+// advances the clock to end. It is the half-open window primitive of
+// the conservative parallel coordinator (internal/pdes): a plane can be
+// advanced through [now, end) while events at exactly end stay pending,
+// so a later RunUntil(end) — or events injected at exactly end — still
+// fire in (when, seq) order. Equivalent to RunUntil(end) followed by
+// re-running the events at end, except those events never fire here.
+func (s *Sim) RunBefore(end Time) {
+	if end < s.now {
+		panic(fmt.Sprintf("des: run before %v behind now %v", end, s.now))
+	}
+	for {
+		// Batch entries fire at the already-set clock (≤ now < end).
+		if s.stepBatch() {
+			continue
+		}
+		if len(s.heap) == 0 {
+			break
+		}
+		top := s.heap[0]
+		if s.nodes[top.idx].gen != top.gen {
+			s.pop()
+			s.noteDead()
+			continue
+		}
+		if s.maybeCompact() {
+			continue
+		}
+		if top.when >= end {
+			break
+		}
+		s.advance(top.when)
+	}
+	s.now = end
+}
+
+// NextAt reports the instant of the earliest live pending event — the
+// shard-horizon query of the parallel coordinator. ok is false when no
+// live event is pending. The clock does not move and nothing fires.
+func (s *Sim) NextAt() (at Time, ok bool) {
+	for i := s.batchPos; i < len(s.batch); i++ {
+		if e := s.batch[i]; s.nodes[e.idx].gen == e.gen {
+			return e.when, true
+		}
+	}
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if s.nodes[top.idx].gen != top.gen {
+			s.pop()
+			s.noteDead()
+			continue
+		}
+		return top.when, true
+	}
+	return 0, false
+}
+
 // less orders entries by (when, seq): the deterministic total order.
 func less(a, b entry) bool {
 	if a.when != b.when {

@@ -60,6 +60,12 @@ type DayConfig struct {
 	NumActions int
 	SleepExec  time.Duration
 
+	// Shards > 1 runs the day's 1-site federation with the site on its
+	// own event plane under the pdes coordinator — the configuration
+	// that pins the sharded runtime byte-for-byte against the day
+	// goldens. Results are identical to the sequential run.
+	Shards int
+
 	// GracefulHandoff / InterruptRunning expose the §III-C machinery
 	// for ablations.
 	GracefulHandoff  bool
@@ -269,7 +275,10 @@ func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayRe
 	// events, no RNG draws, and no allocations, so this path reproduces
 	// the pre-federation single-cluster run byte-for-byte (pinned by the
 	// day goldens).
-	fed := core.NewFederation(core.FederationConfig{Sites: []core.SiteConfig{systemConfig(cfg)}})
+	fed := core.NewFederation(core.FederationConfig{
+		Sites:  []core.SiteConfig{systemConfig(cfg)},
+		Shards: cfg.Shards,
+	})
 	sys := fed.Sites[0]
 	sys.LoadTrace(tr)
 
@@ -290,13 +299,16 @@ func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayRe
 		gen.Start()
 	}
 
-	sys.Start()
+	fed.Start()
 	total := cfg.Horizon + dayDrain
-	if err := sys.RunCtx(ctx, cfg.Horizon, 0, offsetProgress(progress, 0, total)); err != nil {
+	// fed.RunCtx drives the shared plane sequentially or the pdes
+	// coordinator when sharded; either way it is byte-identical to the
+	// pre-federation sys.RunCtx this path grew from.
+	if err := fed.RunCtx(ctx, cfg.Horizon, 0, offsetProgress(progress, 0, total)); err != nil {
 		return DayResult{}, err
 	}
 	// Let in-flight work drain past the horizon.
-	if err := sys.RunCtx(ctx, dayDrain, 0, offsetProgress(progress, cfg.Horizon, total)); err != nil {
+	if err := fed.RunCtx(ctx, dayDrain, 0, offsetProgress(progress, cfg.Horizon, total)); err != nil {
 		return DayResult{}, err
 	}
 

@@ -54,7 +54,16 @@ type FederatedConfig struct {
 
 	// CloudFallback adds the Alg. 1 commercial-cloud wrapper in front
 	// of the door, so federation-wide 503s off-load instead of failing.
+	// Incompatible with Shards > 1 (the wrapper couples completions to
+	// subsequent arrivals, breaking the sharded lookahead contract);
+	// the combination is rejected with an error.
 	CloudFallback bool
+
+	// Shards > 1 runs each site on its own event plane under the
+	// conservative pdes coordinator (core.FederationConfig.Shards).
+	// Results are byte-identical to the sequential run; only wall time
+	// changes.
+	Shards int
 
 	// Streaming switches every metric collector (global and per-site
 	// latencies, worker-state series, Slurm loggers) to O(1)-memory
@@ -224,7 +233,10 @@ func runFederatedOnce(ctx context.Context, cfg FederatedConfig, routing string, 
 		siteCfgs[i] = sc
 	}
 
-	fed := core.NewFederation(core.FederationConfig{Sites: siteCfgs, Routing: routing})
+	if cfg.CloudFallback && cfg.Shards > 1 {
+		return FederatedRun{}, fmt.Errorf("experiments: cloud fallback is incompatible with %d shards (the Alg. 1 wrapper couples completions to arrivals; run sequentially)", cfg.Shards)
+	}
+	fed := core.NewFederation(core.FederationConfig{Sites: siteCfgs, Routing: routing, Shards: cfg.Shards})
 	// Per-site tail quantiles below: exact buffered samples by default,
 	// O(1)-memory digests under Streaming.
 	if cfg.Streaming {

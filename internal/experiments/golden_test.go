@@ -27,6 +27,11 @@ func TestRunDayMatchesPreRefactorGolden(t *testing.T) {
 		{"var-mode", "varday_seed2.golden", VarDay(2)},
 		{"fib-policy", "fibday_seed2.golden", withPolicy(FibDay(2), "fib")},
 		{"var-policy", "varday_seed2.golden", withPolicy(VarDay(2), "var")},
+		// The sharded pdes runtime must reproduce the same goldens: a
+		// 1-site federation with the site on its own plane under the
+		// lookahead coordinator is byte-identical to the shared plane.
+		{"fib-sharded", "fibday_seed2.golden", withShards(FibDay(2), 2)},
+		{"var-sharded", "varday_seed2.golden", withShards(VarDay(2), 2)},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -49,6 +54,11 @@ func TestRunDayMatchesPreRefactorGolden(t *testing.T) {
 
 func withPolicy(cfg DayConfig, name string) DayConfig {
 	cfg.Policy = name
+	return cfg
+}
+
+func withShards(cfg DayConfig, n int) DayConfig {
+	cfg.Shards = n
 	return cfg
 }
 

@@ -1,0 +1,324 @@
+// Package pdes runs one federated simulation across CPU cores with a
+// conservative lookahead coordinator, byte-identically to the
+// sequential shared-plane run.
+//
+// # Topology
+//
+// The federation is a star: N site shards, each a complete Slurm+whisk
+// deployment on its own des.Sim plane, around a front plane hosting
+// everything cluster-external (the load generator and the routing
+// front door's bookkeeping). Sites never talk to each other; every
+// cross-site interaction is a router hop through the front door —
+// an invocation dispatched to a site, or its completion coming back —
+// so those hops are the only cross-shard messages.
+//
+// # Lookahead contract
+//
+// The router's health view is snapshot-consistent (router.FrontDoor
+// snapshots): between refreshes on a fixed grid (the snapshot
+// interval Δ), no routing decision reads live site state. A front-
+// plane event in the window (b, b+Δ) therefore depends only on the
+// snapshot captured at b plus front-plane state — and a site's events
+// in that window depend only on its own past plus the invocations the
+// front plane addressed to it. Δ is the guaranteed lookahead: the
+// coordinator alternates a sequential front phase (advancing the front
+// plane through one window, queueing each dispatched invocation as a
+// timestamped inter-shard message) with a parallel site phase (every
+// shard drains its inbox in time order and advances to the window
+// end, queueing completions as timestamped messages back).
+//
+// # Determinism
+//
+// Each plane preserves its own (when, seq) total order, so per-shard
+// behaviour is byte-identical to the same site on the shared plane
+// (site purity: disjoint state, per-site RNG streams). Cross-shard
+// deliveries are merged across shards by (timestamp, shard index,
+// shard-local order) at every window barrier — and a completion
+// landing exactly on a grid instant is delivered after the snapshot
+// refresh, which in the sequential run fires first at that instant
+// (the refresh ticker's sequence number is a full interval older).
+// The grid's one-microsecond offset (router.DefaultSnapshotInterval)
+// keeps barriers off the instants the simulation already populates,
+// so refresh order never depends on heap tie-breaks. Completion
+// callbacks run with the front clock at the window barrier, not the
+// completion timestamp; the wired clients (the load generator, the
+// front door's latency bookkeeping) are pure recorders reading the
+// invocation's own timestamps, which is what makes late delivery
+// invisible. A client that schedules follow-up events from a
+// completion callback would observe the barrier clock and must not be
+// wired to a sharded run (the Alg. 1 cloud-fallback wrapper is the
+// one such client; core.NewFederation rejects the combination).
+//
+// # Memory
+//
+// Inter-shard messages carry whisk.Invocation values by copy: site-
+// side invocation objects are pooled and recycled the moment their
+// completion callback returns, so a pointer must never cross the
+// shard boundary. Inboxes, outboxes, and per-shard call contexts are
+// reused across windows — shards never share free lists, and the
+// steady-state request path stays allocation-free like the sequential
+// one.
+package pdes
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/whisk"
+)
+
+// Sink is a shard's invocation target: the site controller's entry
+// point (core.Site satisfies it).
+type Sink interface {
+	Invoke(action string, done func(*whisk.Invocation))
+}
+
+// invokeMsg is one front→site inter-shard message: an invocation
+// dispatched by the router at front-plane instant at.
+type invokeMsg struct {
+	at     des.Time
+	action string
+	done   func(*whisk.Invocation)
+}
+
+// doneMsg is one site→front inter-shard message: a completed
+// invocation, copied by value because the site-side object is pooled.
+type doneMsg struct {
+	at   des.Time
+	inv  whisk.Invocation
+	done func(*whisk.Invocation)
+}
+
+// xcall bridges one injected invocation's completion from the site
+// plane to the shard outbox. Pooled per shard: a shard's free list is
+// touched only by its own goroutine.
+type xcall struct {
+	sh   *Shard
+	done func(*whisk.Invocation)
+	fn   func(*whisk.Invocation) // cached method value, one per pooled object
+}
+
+// onDone runs on the shard goroutine at the site-local completion
+// instant: it snapshots the invocation by value into the outbox and
+// recycles the call context.
+func (x *xcall) onDone(inv *whisk.Invocation) {
+	sh, done := x.sh, x.done
+	x.done = nil
+	sh.calls = append(sh.calls, x)
+	sh.outbox = append(sh.outbox, doneMsg{at: sh.sim.Now(), inv: *inv, done: done})
+}
+
+// Shard is one site plane under the coordinator.
+type Shard struct {
+	coord *Coordinator
+	sim   *des.Sim
+	sink  Sink
+
+	inbox  []invokeMsg
+	outbox []doneMsg
+	calls  []*xcall
+
+	// delivered indexes the merge cursor into outbox at barriers.
+	delivered int
+}
+
+// Invoke queues an invocation for this shard, timestamped at the
+// front plane's current instant. Call it only from the front phase
+// (router dispatch); the shard injects it at exactly that instant
+// during its next parallel phase.
+func (sh *Shard) Invoke(action string, done func(*whisk.Invocation)) {
+	sh.inbox = append(sh.inbox, invokeMsg{at: sh.coord.front.Now(), action: action, done: done})
+}
+
+// getCall pops the shard-local pool or builds a new call context.
+func (sh *Shard) getCall() *xcall {
+	if k := len(sh.calls); k > 0 {
+		x := sh.calls[k-1]
+		sh.calls[k-1] = nil
+		sh.calls = sh.calls[:k-1]
+		return x
+	}
+	x := &xcall{sh: sh}
+	x.fn = x.onDone
+	return x
+}
+
+// runTo advances the shard to the window end: inbox messages are
+// injected in time order (site events at an injection instant fire
+// first — on the shared plane they carry older sequence numbers than
+// the arrival), then the plane runs through the window end inclusive,
+// collecting completions into the outbox.
+func (sh *Shard) runTo(end des.Time) {
+	for i := range sh.inbox {
+		m := &sh.inbox[i]
+		sh.sim.RunUntil(m.at)
+		x := sh.getCall()
+		x.done = m.done
+		sh.sink.Invoke(m.action, x.fn)
+		m.done = nil
+	}
+	sh.inbox = sh.inbox[:0]
+	sh.sim.RunUntil(end)
+}
+
+// Coordinator advances a front plane and N site shards in lockstep
+// windows of one lookahead interval. See the package comment for the
+// synchronization and determinism contract.
+type Coordinator struct {
+	front     *des.Sim
+	shards    []*Shard
+	lookahead des.Time
+	workers   int
+	now       des.Time
+
+	// OnBarrier, when non-nil, runs at every grid barrier after the
+	// strictly-earlier cross-shard deliveries — the slot the snapshot
+	// refresh occupies in the sequential (when, seq) order. Wire the
+	// front door's Refresh here.
+	OnBarrier func()
+}
+
+// New builds a coordinator over the front plane. lookahead must equal
+// the front door's snapshot interval (≤ 0 means
+// router.DefaultSnapshotInterval's value is NOT assumed — pass it
+// explicitly); workers bounds the goroutines running site shards
+// (≤ 0 or > #shards means one per shard). The worker count never
+// affects results, only wall time.
+func New(front *des.Sim, lookahead time.Duration, workers int) *Coordinator {
+	if lookahead <= 0 {
+		panic("pdes: non-positive lookahead")
+	}
+	return &Coordinator{front: front, lookahead: des.Time(lookahead), workers: workers}
+}
+
+// AddShard registers a site plane and its invocation sink. Shards are
+// merged in registration order at delivery barriers.
+func (c *Coordinator) AddShard(sim *des.Sim, sink Sink) *Shard {
+	sh := &Shard{coord: c, sim: sim, sink: sink}
+	c.shards = append(c.shards, sh)
+	return sh
+}
+
+// Now reports the global synchronized instant: every plane has fired
+// all events before it (and all planes rest exactly at it between
+// Run calls).
+func (c *Coordinator) Now() des.Time { return c.now }
+
+// RunFor advances the whole federation by d; see RunUntil.
+func (c *Coordinator) RunFor(d time.Duration) { c.RunUntil(c.now + d) }
+
+// RunUntil advances every plane through end inclusive — the exact
+// window des.Sim.RunUntil covers on the shared plane — alternating
+// sequential front phases with parallel site phases per lookahead
+// window, delivering cross-shard completions in merged timestamp
+// order at every barrier.
+func (c *Coordinator) RunUntil(end des.Time) {
+	if end < c.now {
+		panic(fmt.Sprintf("pdes: run until %v before now %v", end, c.now))
+	}
+	if end == c.now {
+		return
+	}
+	w := c.workers
+	if w <= 0 || w > len(c.shards) {
+		w = len(c.shards)
+	}
+	jobs := make([]chan des.Time, w)
+	acks := make(chan struct{}, w)
+	for i := range jobs {
+		ch := make(chan des.Time, 1)
+		jobs[i] = ch
+		go func(worker int) {
+			for to := range ch {
+				for si := worker; si < len(c.shards); si += w {
+					c.shards[si].runTo(to)
+				}
+				acks <- struct{}{}
+			}
+		}(i)
+	}
+	defer func() {
+		for _, ch := range jobs {
+			close(ch)
+		}
+	}()
+
+	for c.now < end {
+		// Next grid barrier strictly after now, clipped to end.
+		barrier := (c.now/c.lookahead + 1) * c.lookahead
+		to := barrier
+		if end < to {
+			to = end
+		}
+		// Front phase: events in [now, to) — routing reads the frozen
+		// snapshot, dispatches land in shard inboxes.
+		c.front.RunBefore(to)
+		// Parallel site phase through the window end inclusive.
+		for _, ch := range jobs {
+			ch <- to
+		}
+		for range jobs {
+			<-acks
+		}
+		// Barrier: completions strictly before the grid instant, then
+		// the refresh, then completions at exactly the grid instant —
+		// the sequential order (the refresh ticker was scheduled a full
+		// interval earlier, so its sequence number precedes any event
+		// scheduled inside the window).
+		c.deliver(to)
+		if to == barrier && c.OnBarrier != nil {
+			c.OnBarrier()
+		}
+		c.deliverRest()
+		c.now = to
+	}
+
+	// Events at exactly end on the front plane (RunBefore excluded
+	// them): they fire after every site event at end — on the shared
+	// plane the site-side events at a shared instant carry the older
+	// sequence numbers — and their dispatches inject at end.
+	c.front.RunUntil(end)
+	for _, sh := range c.shards {
+		sh.runTo(end)
+	}
+	c.deliver(end + 1)
+	c.deliverRest()
+}
+
+// deliver merges shard outboxes across shards by (timestamp, shard
+// index, shard-local order) and runs the completion callbacks of
+// every message with at < before. Shard-local order is already time-
+// sorted (plane clocks are monotone).
+func (c *Coordinator) deliver(before des.Time) {
+	for {
+		best, bestAt := -1, des.Time(0)
+		for si, sh := range c.shards {
+			if sh.delivered < len(sh.outbox) {
+				if at := sh.outbox[sh.delivered].at; best < 0 || at < bestAt {
+					best, bestAt = si, at
+				}
+			}
+		}
+		if best < 0 || bestAt >= before {
+			return
+		}
+		sh := c.shards[best]
+		m := &sh.outbox[sh.delivered]
+		sh.delivered++
+		if m.done != nil {
+			m.done(&m.inv)
+		}
+		m.done = nil
+	}
+}
+
+// deliverRest drains the remaining outbox messages (those at exactly
+// the barrier instant) and resets the outboxes for the next window.
+func (c *Coordinator) deliverRest() {
+	c.deliver(1<<63 - 1)
+	for _, sh := range c.shards {
+		sh.outbox = sh.outbox[:0]
+		sh.delivered = 0
+	}
+}

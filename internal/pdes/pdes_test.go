@@ -1,0 +1,187 @@
+package pdes
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/whisk"
+)
+
+// echoSink is a synthetic site: every invocation completes successfully
+// on the shard's own plane after a fixed service delay.
+type echoSink struct {
+	sim   *des.Sim
+	delay time.Duration
+}
+
+func (s *echoSink) Invoke(action string, done func(*whisk.Invocation)) {
+	inv := &whisk.Invocation{Submitted: s.sim.Now(), Status: whisk.StatusSuccess}
+	s.sim.After(s.delay, func() {
+		inv.Completed = s.sim.Now()
+		done(inv)
+	})
+}
+
+// harness wires a front plane, n echo shards and a delivery log.
+type harness struct {
+	front  *des.Sim
+	coord  *Coordinator
+	shards []*Shard
+	log    []string
+}
+
+func newHarness(n, workers int, lookahead, delay time.Duration) *harness {
+	h := &harness{front: des.New()}
+	h.coord = New(h.front, lookahead, workers)
+	for i := 0; i < n; i++ {
+		sim := des.New()
+		h.shards = append(h.shards, h.coord.AddShard(sim, &echoSink{sim: sim, delay: delay}))
+	}
+	return h
+}
+
+// invokeAt schedules a front-plane dispatch to shard si at instant at,
+// logging the completion with the front clock it was delivered at.
+func (h *harness) invokeAt(at des.Time, si int) {
+	h.front.Schedule(at, func() {
+		h.shards[si].Invoke("a", func(inv *whisk.Invocation) {
+			h.log = append(h.log, fmt.Sprintf("done shard=%d sub=%v comp=%v front=%v",
+				si, inv.Submitted, inv.Completed, h.front.Now()))
+		})
+	})
+}
+
+// TestCoordinatorDeliversInMergedOrder: completions come back in
+// (timestamp, shard index) order with correct site-local timestamps,
+// and each callback runs with the front clock at its window barrier,
+// never before the completion instant and never a full window after.
+func TestCoordinatorDeliversInMergedOrder(t *testing.T) {
+	const la = time.Second
+	h := newHarness(3, 0, la, 30*time.Millisecond)
+	// Two dispatches at the same instant to different shards (tie on
+	// the completion timestamp → shard-index order), plus staggered
+	// ones crossing window boundaries.
+	h.invokeAt(100*time.Millisecond, 2)
+	h.invokeAt(100*time.Millisecond, 1)
+	h.invokeAt(990*time.Millisecond, 0) // completes at 1.02s, next window
+	h.invokeAt(1500*time.Millisecond, 2)
+	h.coord.RunUntil(des.Time(3 * time.Second))
+
+	want := []string{
+		"done shard=1 sub=100ms comp=130ms front=1s",
+		"done shard=2 sub=100ms comp=130ms front=1s",
+		"done shard=0 sub=990ms comp=1.02s front=2s",
+		"done shard=2 sub=1.5s comp=1.53s front=2s",
+	}
+	if len(h.log) != len(want) {
+		t.Fatalf("delivered %d completions, want %d: %v", len(h.log), len(want), h.log)
+	}
+	for i := range want {
+		if h.log[i] != want[i] {
+			t.Errorf("delivery %d:\n  got  %s\n  want %s", i, h.log[i], want[i])
+		}
+	}
+	if h.coord.Now() != des.Time(3*time.Second) {
+		t.Errorf("coordinator rests at %v, want 3s", h.coord.Now())
+	}
+}
+
+// TestCoordinatorBarrierOrder: OnBarrier fires once per grid instant,
+// after the completions strictly inside the window and before a
+// completion landing exactly on the grid instant — the slot the
+// snapshot refresh occupies in the sequential (when, seq) order.
+func TestCoordinatorBarrierOrder(t *testing.T) {
+	const la = time.Second
+	h := newHarness(2, 0, la, 30*time.Millisecond)
+	h.coord.OnBarrier = func() {
+		h.log = append(h.log, fmt.Sprintf("barrier front=%v", h.front.Now()))
+	}
+	h.invokeAt(900*time.Millisecond, 0)  // completes 0.93s, before the 1s barrier
+	h.invokeAt(970*time.Millisecond, 1)  // completes exactly at the 1s barrier
+	h.invokeAt(1970*time.Millisecond, 0) // completes exactly at the 2s barrier
+	h.coord.RunUntil(des.Time(2500 * time.Millisecond))
+
+	want := []string{
+		"done shard=0 sub=900ms comp=930ms front=1s",
+		"barrier front=1s",
+		"done shard=1 sub=970ms comp=1s front=1s",
+		"barrier front=2s",
+		"done shard=0 sub=1.97s comp=2s front=2s",
+		// 2.5s is not a grid instant: no barrier callback there.
+	}
+	if len(h.log) != len(want) {
+		t.Fatalf("log has %d entries, want %d: %v", len(h.log), len(want), h.log)
+	}
+	for i := range want {
+		if h.log[i] != want[i] {
+			t.Errorf("entry %d:\n  got  %s\n  want %s", i, h.log[i], want[i])
+		}
+	}
+}
+
+// TestCoordinatorEndInclusive: RunUntil covers the end instant
+// inclusively on every plane — the window des.Sim.RunUntil covers on
+// the shared plane — and in-flight work survives into the next call.
+func TestCoordinatorEndInclusive(t *testing.T) {
+	h := newHarness(1, 0, time.Second, 30*time.Millisecond)
+	h.invokeAt(des.Time(2*time.Second), 0) // dispatched at exactly end
+	h.coord.RunUntil(des.Time(2 * time.Second))
+	if len(h.log) != 0 {
+		t.Fatalf("completion delivered before its instant: %v", h.log)
+	}
+	h.coord.RunUntil(des.Time(3 * time.Second))
+	want := "done shard=0 sub=2s comp=2.03s front=3s"
+	if len(h.log) != 1 || h.log[0] != want {
+		t.Fatalf("got %v, want [%s]", h.log, want)
+	}
+}
+
+// TestCoordinatorWorkerInvariance: the worker count never changes the
+// delivery log, only which goroutine runs a shard.
+func TestCoordinatorWorkerInvariance(t *testing.T) {
+	replay := func(workers int) []string {
+		h := newHarness(5, workers, time.Second, 70*time.Millisecond)
+		at := des.Time(10 * time.Millisecond)
+		for i := 0; i < 200; i++ {
+			h.invokeAt(at, i%5)
+			at += des.Time(i%13) * des.Time(17*time.Millisecond)
+		}
+		h.coord.RunUntil(at + des.Time(time.Second))
+		return h.log
+	}
+	base := replay(1)
+	if len(base) != 200 {
+		t.Fatalf("delivered %d completions, want 200", len(base))
+	}
+	for _, w := range []int{2, 5, 16} {
+		got := replay(w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d completions vs %d", w, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d delivery %d: %s vs %s", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestCoordinatorPanics pins the misuse guards.
+func TestCoordinatorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("non-positive lookahead", func() { New(des.New(), 0, 0) })
+	mustPanic("backwards RunUntil", func() {
+		c := New(des.New(), time.Second, 0)
+		c.RunUntil(des.Time(time.Second))
+		c.RunUntil(des.Time(time.Millisecond))
+	})
+}

@@ -1,6 +1,9 @@
 package router
 
 import (
+	"time"
+
+	"repro/internal/des"
 	"repro/internal/stats"
 	"repro/internal/whisk"
 )
@@ -10,6 +13,18 @@ import (
 // enough to smooth per-request jitter, large enough to track a site
 // degrading within a few hundred requests.
 const latencyEWMAWeight = 0.05
+
+// DefaultSnapshotInterval is the default refresh period of the
+// snapshot-consistent health view a multi-site federation routes from
+// (FrontDoor.SnapshotEvery / Refresh). It is also the lookahead window
+// of the sharded parallel run: between refreshes, routing decisions
+// depend only on state captured at the last grid instant, so site
+// shards may advance a full interval without synchronizing. The one
+// microsecond offset keeps the refresh grid off the exact instants the
+// simulation already populates — the minute-aligned site tickers and
+// the regular load-generator arrival grid — so refresh events never
+// tie with them and the sequential and sharded orders stay identical.
+const DefaultSnapshotInterval = time.Second + time.Microsecond
 
 // FrontDoor is the federation's single client entry point: every
 // request is assigned a hash-derived home site, the routing policy
@@ -41,6 +56,12 @@ type FrontDoor struct {
 	// collectLatency gates LatencyBySite; see CollectLatencies.
 	collectLatency bool
 
+	// snap holds the per-site health signals captured at the last
+	// Refresh; snapshotting switches the View methods from live site
+	// reads to the snapshot. See EnableSnapshots.
+	snap         []siteSnap
+	snapshotting bool
+
 	// callPool recycles the per-call completion context; fn is created
 	// once per pooled object, never per request.
 	callPool []*fdCall
@@ -57,6 +78,62 @@ type FrontDoor struct {
 	Issued      int
 	Spilled     int
 	NoSitePicks int
+}
+
+// siteSnap is one site's health signals as captured at a Refresh.
+type siteSnap struct {
+	healthyInvokers int
+	utilization     float64
+	queueDepth      int
+	fastLaneDepth   int
+	draining        int
+	latency         float64
+}
+
+// EnableSnapshots switches the door's View from live per-site reads to
+// the snapshot captured at the last Refresh, and captures the initial
+// snapshot now. Multi-site federations route from snapshots in both
+// execution modes: the refresh grid is what gives the sharded run its
+// lookahead window (no routing decision between grid instants can
+// observe a site mid-window), and the sequential run adopts the same
+// grid (SnapshotEvery) so the two produce byte-identical event
+// streams. 1-site doors keep live views — with one site every pick
+// lands there regardless, and the fib/var day goldens pin that path.
+func (fd *FrontDoor) EnableSnapshots() {
+	if fd.snap == nil {
+		fd.snap = make([]siteSnap, len(fd.sites))
+	}
+	fd.snapshotting = true
+	fd.Refresh()
+}
+
+// Refresh recaptures the health snapshot from every site. In the
+// sequential mode a plane ticker drives it (SnapshotEvery); in the
+// sharded mode the pdes coordinator calls it at every grid barrier,
+// when all site shards rest at exactly the refresh instant.
+func (fd *FrontDoor) Refresh() {
+	for i, s := range fd.sites {
+		fd.snap[i] = siteSnap{
+			healthyInvokers: s.HealthyInvokers(),
+			utilization:     s.Utilization(),
+			queueDepth:      s.QueueDepth(),
+			fastLaneDepth:   s.FastLaneDepth(),
+			draining:        s.DrainingInvokers(),
+			latency:         fd.lat[i],
+		}
+	}
+}
+
+// SnapshotEvery enables snapshot views and schedules the refresh on
+// the plane hosting the door: first at now+interval, then every
+// interval — the exact grid instants the sharded coordinator refreshes
+// at. Pass interval ≤ 0 for DefaultSnapshotInterval.
+func (fd *FrontDoor) SnapshotEvery(sim *des.Sim, interval time.Duration) *des.Ticker {
+	if interval <= 0 {
+		interval = DefaultSnapshotInterval
+	}
+	fd.EnableSnapshots()
+	return sim.Every(interval, fd.Refresh)
 }
 
 // fdCall is one in-flight request's completion context.
@@ -190,28 +267,67 @@ func (fd *FrontDoor) Invoke(action string, done func(*whisk.Invocation)) {
 }
 
 // The front door implements View over its own site list, so policies
-// read health signals with no intermediate snapshot allocation.
+// read health signals with no intermediate snapshot allocation. With
+// snapshots enabled (every multi-site federation) the methods answer
+// from the grid snapshot — the signal set every routing decision in a
+// window agrees on, in both execution modes; without (1-site doors,
+// hand-built test doors) they read the sites live.
 
 // NumSites implements View.
 func (fd *FrontDoor) NumSites() int { return len(fd.sites) }
 
 // Healthy implements View.
-func (fd *FrontDoor) Healthy(i int) bool { return fd.sites[i].HealthyInvokers() > 0 }
+func (fd *FrontDoor) Healthy(i int) bool {
+	if fd.snapshotting {
+		return fd.snap[i].healthyInvokers > 0
+	}
+	return fd.sites[i].HealthyInvokers() > 0
+}
 
 // HealthyInvokers implements View.
-func (fd *FrontDoor) HealthyInvokers(i int) int { return fd.sites[i].HealthyInvokers() }
+func (fd *FrontDoor) HealthyInvokers(i int) int {
+	if fd.snapshotting {
+		return fd.snap[i].healthyInvokers
+	}
+	return fd.sites[i].HealthyInvokers()
+}
 
 // Utilization implements View.
-func (fd *FrontDoor) Utilization(i int) float64 { return fd.sites[i].Utilization() }
+func (fd *FrontDoor) Utilization(i int) float64 {
+	if fd.snapshotting {
+		return fd.snap[i].utilization
+	}
+	return fd.sites[i].Utilization()
+}
 
 // QueueDepth implements View.
-func (fd *FrontDoor) QueueDepth(i int) int { return fd.sites[i].QueueDepth() }
+func (fd *FrontDoor) QueueDepth(i int) int {
+	if fd.snapshotting {
+		return fd.snap[i].queueDepth
+	}
+	return fd.sites[i].QueueDepth()
+}
 
 // FastLaneDepth implements View.
-func (fd *FrontDoor) FastLaneDepth(i int) int { return fd.sites[i].FastLaneDepth() }
+func (fd *FrontDoor) FastLaneDepth(i int) int {
+	if fd.snapshotting {
+		return fd.snap[i].fastLaneDepth
+	}
+	return fd.sites[i].FastLaneDepth()
+}
 
 // Draining implements View.
-func (fd *FrontDoor) Draining(i int) int { return fd.sites[i].DrainingInvokers() }
+func (fd *FrontDoor) Draining(i int) int {
+	if fd.snapshotting {
+		return fd.snap[i].draining
+	}
+	return fd.sites[i].DrainingInvokers()
+}
 
 // Latency implements View.
-func (fd *FrontDoor) Latency(i int) float64 { return fd.lat[i] }
+func (fd *FrontDoor) Latency(i int) float64 {
+	if fd.snapshotting {
+		return fd.snap[i].latency
+	}
+	return fd.lat[i]
+}

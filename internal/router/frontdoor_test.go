@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/des"
 	"repro/internal/whisk"
 )
 
@@ -194,5 +195,93 @@ func TestFrontDoorHomeStable(t *testing.T) {
 	}
 	if len(seen) < 2 {
 		t.Fatalf("home hash maps every action to one site: %v", seen)
+	}
+}
+
+// TestSnapshotViews: with snapshots enabled every View method answers
+// from the state captured at the last Refresh — mid-window site
+// changes are invisible to routing until the next grid instant — and
+// without snapshots the views stay live.
+func TestSnapshotViews(t *testing.T) {
+	fs, sites := newFakeSites(2)
+	fd := NewFrontDoor(sites, MustNew("capacity-weighted"))
+
+	// Live views before EnableSnapshots.
+	fs[0].healthy = 1
+	if got := fd.HealthyInvokers(0); got != 1 {
+		t.Fatalf("live HealthyInvokers = %d, want 1", got)
+	}
+	fd.Invoke("seed-latency", nil) // one 800ms success seeds the EWMA
+	if fd.Latency(fd.Home("seed-latency")) == 0 {
+		t.Fatal("latency EWMA not seeded")
+	}
+
+	fd.EnableSnapshots()
+	lat0 := fd.Latency(0)
+	// Mutate everything the snapshot captured.
+	fs[0].healthy, fs[0].util, fs[0].queue, fs[0].fl, fs[0].drain = 7, 0.5, 3, 2, 1
+	for i := 0; i < 50; i++ {
+		fd.Invoke("seed-latency", nil) // moves the live EWMA
+	}
+	if got := fd.HealthyInvokers(0); got != 1 {
+		t.Errorf("snapshot HealthyInvokers = %d, want the captured 1", got)
+	}
+	if !fd.Healthy(0) {
+		t.Error("snapshot Healthy flipped without a Refresh")
+	}
+	if got := fd.Utilization(0); got != 0 {
+		t.Errorf("snapshot Utilization = %v, want the captured 0", got)
+	}
+	if got := fd.QueueDepth(0); got != 0 {
+		t.Errorf("snapshot QueueDepth = %v, want the captured 0", got)
+	}
+	if got := fd.FastLaneDepth(0); got != 0 {
+		t.Errorf("snapshot FastLaneDepth = %v, want the captured 0", got)
+	}
+	if got := fd.Draining(0); got != 0 {
+		t.Errorf("snapshot Draining = %v, want the captured 0", got)
+	}
+	if got := fd.Latency(0); got != lat0 {
+		t.Errorf("snapshot Latency = %v, want the captured %v", got, lat0)
+	}
+
+	fd.Refresh()
+	if got := fd.HealthyInvokers(0); got != 7 {
+		t.Errorf("refreshed HealthyInvokers = %d, want 7", got)
+	}
+	if got := fd.Utilization(0); got != 0.5 {
+		t.Errorf("refreshed Utilization = %v, want 0.5", got)
+	}
+	if got := fd.Draining(0); got != 1 {
+		t.Errorf("refreshed Draining = %v, want 1", got)
+	}
+}
+
+// TestSnapshotEvery: the refresh ticker recaptures the view on the
+// grid — first at now+interval — and interval ≤ 0 means
+// DefaultSnapshotInterval.
+func TestSnapshotEvery(t *testing.T) {
+	fs, sites := newFakeSites(2)
+	fd := NewFrontDoor(sites, MustNew("capacity-weighted"))
+	sim := des.New()
+	fd.SnapshotEvery(sim, 0)
+
+	fs[1].healthy = 9
+	sim.RunUntil(des.Time(DefaultSnapshotInterval) - 1)
+	if got := fd.HealthyInvokers(1); got != 4 {
+		t.Errorf("before the first grid instant: HealthyInvokers = %d, want the captured 4", got)
+	}
+	sim.RunUntil(des.Time(DefaultSnapshotInterval))
+	if got := fd.HealthyInvokers(1); got != 9 {
+		t.Errorf("after the first refresh: HealthyInvokers = %d, want 9", got)
+	}
+	fs[1].healthy = 2
+	sim.RunUntil(des.Time(2*DefaultSnapshotInterval) - 1)
+	if got := fd.HealthyInvokers(1); got != 9 {
+		t.Errorf("mid second window: HealthyInvokers = %d, want 9", got)
+	}
+	sim.RunUntil(des.Time(2 * DefaultSnapshotInterval))
+	if got := fd.HealthyInvokers(1); got != 2 {
+		t.Errorf("after the second refresh: HealthyInvokers = %d, want 2", got)
 	}
 }

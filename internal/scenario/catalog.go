@@ -78,6 +78,7 @@ func init() {
 			{Name: "actions", Kind: KindInt, Default: "100", Help: "number of sleep functions under load"},
 			{Name: "sleep-exec", Kind: KindDuration, Default: "10ms", Help: "in-container execution time per call"},
 			{Name: "streaming", Kind: KindBool, Default: "false", Help: "O(1)-memory streaming metrics (t-digest quantiles, windowed series)"},
+			{Name: "shards", Kind: KindInt, Default: "1", Help: "site shards run in parallel under the pdes coordinator (>1; byte-identical to sequential, incompatible with cloud-fallback)"},
 		},
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			fc := experiments.DefaultFederatedConfig(cfg.Seed())
@@ -96,6 +97,7 @@ func init() {
 			fc.SleepExec = cfg.Duration("sleep-exec", fc.SleepExec)
 			fc.CloudFallback = cfg.Bool("cloud-fallback", fc.CloudFallback)
 			fc.Streaming = cfg.Bool("streaming", false)
+			fc.Shards = cfg.Int("shards", fc.Shards)
 			if names := cfg.String("routing", ""); names != "" {
 				fc.Routing = splitList(names)
 				// The federation resolves these on construction, so an
@@ -342,6 +344,7 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			{Name: "graceful-handoff", Kind: KindBool, Default: "true", Help: "enable the §III-C hand-off protocol"},
 			{Name: "interrupt-running", Kind: KindBool, Default: "true", Help: "interrupt mid-execution activations on reclaim"},
 			{Name: "streaming", Kind: KindBool, Default: "false", Help: "O(1)-memory streaming metrics (t-digest quantiles, windowed series)"},
+			{Name: "shards", Kind: KindInt, Default: "1", Help: "run under the sharded pdes coordinator (>1; byte-identical to sequential)"},
 		},
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			day := base(cfg.Seed())
@@ -359,6 +362,7 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			day.GracefulHandoff = cfg.Bool("graceful-handoff", day.GracefulHandoff)
 			day.InterruptRunning = cfg.Bool("interrupt-running", day.InterruptRunning)
 			day.Streaming = cfg.Bool("streaming", false)
+			day.Shards = cfg.Int("shards", day.Shards)
 			r, err := experiments.RunDayCtx(ctx, day, cfg.Progress())
 			if err != nil {
 				return nil, err

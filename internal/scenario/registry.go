@@ -92,12 +92,34 @@ func All() []Spec {
 // policies are all caught here. Sweeps call this once per grid cell
 // before fanning replicas out.
 func Validate(name string, opts ...Option) error {
+	_, err := Parallelism(name, opts...)
+	return err
+}
+
+// Parallelism resolves a configured cell like Validate and additionally
+// reports how many goroutines one replica of it will occupy: the value
+// of its "shards" option for scenarios that document one (the sharded
+// pdes runtime runs each site shard on its own goroutine), 1 for
+// everything else. Sweeps use it to keep workers × shards inside their
+// concurrency budget.
+func Parallelism(name string, opts ...Option) (int, error) {
 	sp, err := Lookup(name)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	_, err = newConfig(sp, opts)
-	return err
+	cfg, err := newConfig(sp, opts)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range sp.Options {
+		if d.Name == "shards" {
+			if n := cfg.Int("shards", 1); n > 1 {
+				return n, nil
+			}
+			break
+		}
+	}
+	return 1, nil
 }
 
 // Run executes a registered scenario. Cancellation surfaces as a
