@@ -201,6 +201,33 @@ func BenchmarkAblationHandoff(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointDay runs a contended day with the checkpoint
+// subsystem fully engaged: 100 ms checkpoints under 500 ms bodies, so
+// interrupted executions dump, requeue as resume tokens, and restore
+// on successor pilots throughout the run. The allocation ratchet gates
+// the segment-event path the same way BenchmarkFig5b gates the plain
+// request path: checkpointed execution reuses the pooled invocation
+// and cached callbacks, so per-segment allocations must stay flat.
+func BenchmarkCheckpointDay(b *testing.B) {
+	b.ReportAllocs()
+	var r DayResult
+	for i := 0; i < b.N; i++ {
+		cfg := FibDay(5)
+		cfg.Nodes = 64
+		cfg.Horizon = 2 * time.Hour
+		cfg.MeanIdleNodes = 6
+		cfg.SaturatedFraction = 0.02
+		cfg.QPS = 5
+		cfg.NumActions = 50
+		cfg.SleepExec = 500 * time.Millisecond
+		cfg.CheckpointInterval = 100 * time.Millisecond
+		r = experiments.RunDay(cfg)
+	}
+	b.ReportMetric(float64(r.Work.Checkpoints), "checkpoints")
+	b.ReportMetric(float64(r.Work.Resumed), "resumes")
+	b.ReportMetric(100*r.Work.GoodputShare(), "goodput-%")
+}
+
 // BenchmarkScientificWorkload runs the §VII future-work experiment: a
 // heterogeneous, Azure-calibrated scientific FaaS workload over
 // HPC-Whisk with the Alg. 1 fallback.

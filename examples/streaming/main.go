@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -28,18 +29,23 @@ func main() {
 	// 1. One production day with streaming collectors. Identical
 	// simulation, bounded metric memory: the retained footprint is a
 	// few hundred KB regardless of horizon.
-	cfg := hpcwhisk.FibDay(1)
-	cfg.Nodes = 64
-	cfg.Horizon = 6 * time.Hour
-	cfg.MeanIdleNodes = 4
-	cfg.QPS = 2
-	cfg.NumActions = 20
-	cfg.Streaming = true
-	day := hpcwhisk.RunDay(cfg)
+	horizon := 6 * time.Hour
+	res1, err := hpcwhisk.RunScenario(context.Background(), "fib-day",
+		hpcwhisk.WithSeed(1),
+		hpcwhisk.WithNodes(64),
+		hpcwhisk.WithHorizon(horizon),
+		hpcwhisk.WithQPS(2),
+		hpcwhisk.WithOption("actions", "20"),
+		hpcwhisk.WithOption("streaming", "true"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	day := res1.Unwrap().(hpcwhisk.DayResult)
 
 	dig := day.Digests()["latency-s"]
 	eps := hpcwhisk.DigestEpsilon(hpcwhisk.DefaultDigestCompression)
-	fmt.Printf("one streaming day (%v, %d requests):\n", cfg.Horizon, day.Load.Issued)
+	fmt.Printf("one streaming day (%v, %d requests):\n", horizon, day.Load.Issued)
 	fmt.Printf("  latency p50/p90/p99 = %.0f/%.0f/%.0f ms (each within ±%.0f%% rank error)\n",
 		1000*dig.Quantile(0.50), 1000*dig.Quantile(0.90), 1000*dig.Quantile(0.99), 100*eps)
 	fmt.Printf("  retained metric state: %.0f KB for %d latency observations\n",

@@ -16,8 +16,9 @@
 //   - Experiments: every table and figure of the paper's evaluation is
 //     a named scenario in a registry — enumerable via Scenarios, run via
 //     RunScenario with functional options, cancellable through a
-//     context, and sweepable by name. The legacy Run* functions survive
-//     as thin deprecated wrappers.
+//     context, and sweepable by name. Typed experiment configs
+//     (DayConfig, ScientificConfig, ...) remain exposed for embedders
+//     that need every knob.
 //
 // Everything runs on a deterministic virtual clock: a seeded run is
 // reproducible bit-for-bit, and 24-hour experiments complete in seconds.
@@ -28,6 +29,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/experiments"
@@ -42,23 +44,6 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/whisk"
 	"repro/internal/workload"
-)
-
-// Mode selects the pilot-job supply model of §III-D: fixed-length bags
-// (fib) or Slurm-sized variable-length jobs (var).
-//
-// Deprecated: Mode survives as a thin alias for the paper's two
-// supply policies. New code should pick a SupplyPolicy — by name
-// through the registry (NewPolicy, PolicyNames) or by constructor
-// (NewFibPolicy, NewVarPolicy, NewAdaptivePolicy, NewLeasePolicy,
-// NewHybridPolicy) — and set it on SystemConfig.Manager.Policy or
-// DayConfig.Policy.
-type Mode = core.Mode
-
-// Supply models.
-const (
-	ModeFib = core.ModeFib
-	ModeVar = core.ModeVar
 )
 
 // Supply-policy layer: the pilot-supply decision of §III-D is a
@@ -142,15 +127,6 @@ type SystemConfig = core.SystemConfig
 // the name comes from user input).
 func DefaultConfig(nodes int, policyName string) SystemConfig {
 	return core.DefaultSystemConfig(nodes, policyName)
-}
-
-// DefaultConfigMode returns the paper's deployment configuration for a
-// legacy supply mode.
-//
-// Deprecated: call DefaultConfig with the policy's registry name
-// ("fib" or "var") instead.
-func DefaultConfigMode(nodes int, mode Mode) SystemConfig {
-	return core.DefaultSystemConfigMode(nodes, mode)
 }
 
 // New builds a deployment.
@@ -381,13 +357,12 @@ func NewScenarioResult(typed any, metrics map[string]float64, table [][]string) 
 // table otherwise.
 func RenderScenario(w io.Writer, res ScenarioResult) { scenario.Fprint(w, res) }
 
-// Experiment entry points: each regenerates one table or figure.
-//
-// Deprecated: these bespoke wrappers predate the scenario registry.
-// New code should run experiments through RunScenario / Scenarios
-// (and SweepScenarios for grids); each wrapper below names its
-// scenario. The wrappers stay because their typed configs expose every
-// knob, but they gain no new experiments.
+// Typed experiment configs: scenarios run through RunScenario /
+// Scenarios (and SweepScenarios for grids); the config and result
+// types below stay exported for embedders that drive
+// internal/experiments entry points with every knob. The deprecated
+// per-experiment Run* wrappers were removed — see CHANGES.md for the
+// scenario name each one maps to.
 
 // DayConfig configures a 24-hour production experiment.
 type DayConfig = experiments.DayConfig
@@ -402,56 +377,9 @@ func FibDay(seed int64) DayConfig { return experiments.FibDay(seed) }
 // VarDay returns the Table III / Fig. 6 configuration.
 func VarDay(seed int64) DayConfig { return experiments.VarDay(seed) }
 
-// RunDay executes a 24-hour experiment.
-//
-// Deprecated: run the "fib-day" or "var-day" scenario via RunScenario.
-func RunDay(cfg DayConfig) DayResult { return experiments.RunDay(cfg) }
-
-// RunFig1 analyzes a week trace (idle-node and idle-period CDFs).
-//
-// Deprecated: run the "fig1" scenario via RunScenario.
-func RunFig1(tr *Trace) experiments.Fig1Result { return experiments.RunFig1(tr) }
-
-// RunFig2 regenerates the HPC job CDFs.
-//
-// Deprecated: run the "fig2" scenario via RunScenario.
-func RunFig2(seed int64) experiments.Fig2Result { return experiments.RunFig2(seed) }
-
-// RunFig3 regenerates the 5-node motivating schedule.
-//
-// Deprecated: run the "fig3" scenario via RunScenario.
-func RunFig3(seed int64) experiments.Fig3Result { return experiments.RunFig3(seed) }
-
-// RunTableI evaluates the six job-length sets.
-//
-// Deprecated: run the "table1" scenario via RunScenario.
-func RunTableI(tr *Trace) experiments.TableIResult { return experiments.RunTableI(tr) }
-
-// RunFig7 compares the SeBS functions across platforms.
-//
-// Deprecated: run the "fig7" scenario via RunScenario.
-func RunFig7(vertices, degree, invocations int, seed int64) experiments.Fig7Result {
-	return experiments.RunFig7(vertices, degree, invocations, seed)
-}
-
-// RunAblation compares the hand-off design points.
-//
-// Deprecated: run the "ablation" scenario via RunScenario.
-func RunAblation(nodes int, horizon time.Duration, seed int64) experiments.AblationResult {
-	return experiments.RunAblation(nodes, horizon, seed)
-}
-
 // AblationConfig parameterizes the hand-off ablation, including the
 // supply policy the variants run under.
 type AblationConfig = experiments.AblationConfig
-
-// RunAblationWith runs the hand-off ablation under an explicit supply
-// policy.
-//
-// Deprecated: run the "ablation" scenario with WithPolicy instead.
-func RunAblationWith(cfg AblationConfig) experiments.AblationResult {
-	return experiments.RunAblationWith(cfg)
-}
 
 // PolicyComparisonConfig configures the supply-policy comparison: the
 // same calibrated day run once per policy, so rows differ only in how
@@ -462,14 +390,6 @@ type PolicyComparisonConfig = experiments.PolicyComparisonConfig
 // every registered policy.
 func DefaultPolicyComparisonConfig(seed int64) PolicyComparisonConfig {
 	return experiments.DefaultPolicyComparisonConfig(seed)
-}
-
-// RunPolicyComparison executes the comparison and reports utilization,
-// 503, and hand-off metrics per policy.
-//
-// Deprecated: run the "policy-comparison" scenario via RunScenario.
-func RunPolicyComparison(cfg PolicyComparisonConfig) experiments.PolicyComparisonResult {
-	return experiments.RunPolicyComparison(cfg)
 }
 
 // WeekTrace generates the calibrated stand-in for the paper's analyzed
@@ -485,11 +405,35 @@ func DefaultScientificConfig(seed int64) ScientificConfig {
 	return experiments.DefaultScientificConfig(seed)
 }
 
-// RunScientific executes the scientific-workload experiment.
-//
-// Deprecated: run the "scientific" scenario via RunScenario.
-func RunScientific(cfg ScientificConfig) experiments.ScientificResult {
-	return experiments.RunScientific(cfg)
+// CheckpointModel parameterizes checkpoint/restore for one action:
+// interval, dump cost, state size, and the restore path. Attach to an
+// interruptible Action so interrupted executions resume from their
+// last checkpoint instead of losing all progress.
+type CheckpointModel = checkpoint.Model
+
+// DefaultCheckpointModel returns the calibrated checkpoint model.
+func DefaultCheckpointModel() *CheckpointModel { return checkpoint.Default() }
+
+// CheckpointEvery returns the calibrated model with the interval
+// pinned to d (d <= 0: disabled).
+func CheckpointEvery(d time.Duration) *CheckpointModel { return checkpoint.WithInterval(d) }
+
+// WorkCounters is the compute-accounting ledger of the checkpoint
+// subsystem: goodput / wasted / lost body time plus dump and restore
+// overheads.
+type WorkCounters = stats.WorkCounters
+
+// FrontierConfig configures the checkpoint frontier: a function
+// duration × idle-window sweep where every cell runs with and without
+// checkpointing (the checkpoint-frontier scenario).
+type FrontierConfig = experiments.FrontierConfig
+
+// FrontierResult is the frontier sweep's cell grid.
+type FrontierResult = experiments.FrontierResult
+
+// DefaultFrontierConfig returns the default frontier grid.
+func DefaultFrontierConfig(seed int64) FrontierConfig {
+	return experiments.DefaultFrontierConfig(seed)
 }
 
 // EndogenousConfig configures the full-scheduler experiment: prime jobs
@@ -500,13 +444,6 @@ type EndogenousConfig = experiments.EndogenousConfig
 // DefaultEndogenousConfig returns a tractable slice.
 func DefaultEndogenousConfig(seed int64) EndogenousConfig {
 	return experiments.DefaultEndogenousConfig(seed)
-}
-
-// RunEndogenous executes the full-scheduler experiment.
-//
-// Deprecated: run the "endogenous" scenario via RunScenario.
-func RunEndogenous(cfg EndogenousConfig) experiments.EndogenousResult {
-	return experiments.RunEndogenous(cfg)
 }
 
 // Replication and parameter sweeps: any experiment entry point can be

@@ -1,0 +1,112 @@
+// Package checkpoint models periodic checkpoint/restore for FaaS
+// executions that outlive their pilot job. The paper's fast lane
+// (§III-C) rescues *queued* requests when a pilot receives SIGTERM;
+// a *running* execution longer than the 3-minute grace window is
+// simply lost — the cap on the §VII scientific workload. Limitless
+// FaaS (see PAPERS.md) shows the extension this package models:
+// executions take periodic memory checkpoints, and an interrupted
+// execution is re-invoked elsewhere — another pilot via the fast
+// lane, or the Alg. 1 cloud fallback — resuming from its last
+// checkpoint after paying state-transfer plus restore time (rFaaS's
+// lease framing motivates charging that restore as a first-class
+// latency component rather than a free retry).
+//
+// A Model is pure data: distributions for the checkpoint interval,
+// the per-checkpoint dump pause, the serialized state size, and the
+// restore path (transfer bandwidth + fixed restore overhead). It
+// attaches to interruptible whisk.Actions and is sampled by the
+// invoker with an explicit RNG forked via dist.Split, so the
+// no-checkpoint configuration draws exactly the sequence it always
+// did and the committed goldens stay byte-identical.
+package checkpoint
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Model parameterizes checkpointing for one action. The zero value
+// (and a nil pointer) disable checkpointing entirely; Enabled is the
+// single gate the invoker consults, so a Model with a nil Interval can
+// be attached everywhere without perturbing the simulation.
+type Model struct {
+	// Interval is the gap between successive checkpoints, in seconds.
+	// nil disables checkpointing for the action.
+	Interval dist.Dist
+
+	// Cost is the stop-the-world dump pause per checkpoint, in seconds.
+	Cost dist.Dist
+
+	// StateMB is the serialized checkpoint state size, in megabytes —
+	// what a resume must transfer before work continues.
+	StateMB dist.Dist
+
+	// BandwidthMBps is the effective state-transfer bandwidth a
+	// resuming worker sees, in MB/s.
+	BandwidthMBps dist.Dist
+
+	// RestoreOverhead is the fixed process-reconstruction cost once the
+	// state is local, in seconds.
+	RestoreOverhead dist.Dist
+}
+
+// Default returns the calibrated checkpoint model (see the
+// checkpoint/restore constructors in internal/dist/calibrations.go).
+func Default() *Model {
+	return &Model{
+		Interval:        dist.CheckpointIntervalSeconds(),
+		Cost:            dist.CheckpointCostSeconds(),
+		StateMB:         dist.CheckpointStateMB(),
+		BandwidthMBps:   dist.RestoreBandwidthMBps(),
+		RestoreOverhead: dist.RestoreOverheadSeconds(),
+	}
+}
+
+// WithInterval returns the calibrated model with the interval pinned
+// to a constant d. d <= 0 returns a disabled model (Interval nil, all
+// other dists populated), which experiments attach unconditionally so
+// the disabled path is exercised by every golden run.
+func WithInterval(d time.Duration) *Model {
+	m := Default()
+	if d <= 0 {
+		m.Interval = nil
+		return m
+	}
+	m.Interval = dist.Constant{Value: d.Seconds()}
+	return m
+}
+
+// Enabled reports whether the model actually checkpoints. It is the
+// single gate on every checkpoint code path: nil models and models
+// without an interval distribution take the exact pre-checkpoint
+// execution path, with zero additional RNG draws or events.
+func (m *Model) Enabled() bool { return m != nil && m.Interval != nil }
+
+// NextInterval draws the gap to the next checkpoint.
+func (m *Model) NextInterval(r *rand.Rand) time.Duration {
+	return dist.Seconds(m.Interval, r)
+}
+
+// CostTime draws one checkpoint's dump pause.
+func (m *Model) CostTime(r *rand.Rand) time.Duration {
+	return dist.Seconds(m.Cost, r)
+}
+
+// StateSizeMB draws the serialized state size of one checkpoint.
+func (m *Model) StateSizeMB(r *rand.Rand) float64 {
+	return m.StateMB.Sample(r)
+}
+
+// RestoreTime draws the full cost of resuming from a checkpoint of
+// stateMB megabytes: state transfer at a drawn bandwidth plus the
+// fixed restore overhead.
+func (m *Model) RestoreTime(stateMB float64, r *rand.Rand) time.Duration {
+	bw := m.BandwidthMBps.Sample(r)
+	var transfer time.Duration
+	if bw > 0 && stateMB > 0 {
+		transfer = time.Duration(stateMB / bw * float64(time.Second))
+	}
+	return transfer + dist.Seconds(m.RestoreOverhead, r)
+}

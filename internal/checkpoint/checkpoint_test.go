@@ -1,0 +1,97 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func TestEnabledGate(t *testing.T) {
+	var nilModel *Model
+	if nilModel.Enabled() {
+		t.Fatal("nil model must be disabled")
+	}
+	if (&Model{}).Enabled() {
+		t.Fatal("zero model must be disabled")
+	}
+	if WithInterval(0).Enabled() {
+		t.Fatal("WithInterval(0) must be disabled")
+	}
+	if WithInterval(-time.Second).Enabled() {
+		t.Fatal("negative interval must be disabled")
+	}
+	if !Default().Enabled() {
+		t.Fatal("Default must be enabled")
+	}
+	if !WithInterval(30 * time.Second).Enabled() {
+		t.Fatal("WithInterval(30s) must be enabled")
+	}
+}
+
+func TestWithIntervalPinsConstant(t *testing.T) {
+	m := WithInterval(45 * time.Second)
+	r := dist.NewRand(1)
+	for i := 0; i < 5; i++ {
+		if got := m.NextInterval(r); got != 45*time.Second {
+			t.Fatalf("interval draw %d: got %v, want 45s", i, got)
+		}
+	}
+	// The disabled variant still carries the other calibrations so it
+	// can be attached unconditionally.
+	d := WithInterval(0)
+	if d.Cost == nil || d.StateMB == nil || d.BandwidthMBps == nil || d.RestoreOverhead == nil {
+		t.Fatal("disabled model must keep non-interval dists populated")
+	}
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	m := Default()
+	a, b := dist.NewRand(7), dist.NewRand(7)
+	for i := 0; i < 100; i++ {
+		if m.NextInterval(a) != m.NextInterval(b) ||
+			m.CostTime(a) != m.CostTime(b) ||
+			m.StateSizeMB(a) != m.StateSizeMB(b) ||
+			m.RestoreTime(256, a) != m.RestoreTime(256, b) {
+			t.Fatalf("draw %d diverged between identically seeded streams", i)
+		}
+	}
+}
+
+func TestRestoreTimeScalesWithState(t *testing.T) {
+	m := &Model{
+		Interval:        dist.Constant{Value: 60},
+		Cost:            dist.Constant{Value: 1},
+		StateMB:         dist.Constant{Value: 100},
+		BandwidthMBps:   dist.Constant{Value: 100},
+		RestoreOverhead: dist.Constant{Value: 2},
+	}
+	r := dist.NewRand(1)
+	if got := m.RestoreTime(100, r); got != 3*time.Second {
+		t.Fatalf("restore(100MB @100MB/s +2s) = %v, want 3s", got)
+	}
+	if got := m.RestoreTime(0, r); got != 2*time.Second {
+		t.Fatalf("restore(0MB) = %v, want overhead-only 2s", got)
+	}
+	small := m.RestoreTime(10, r)
+	large := m.RestoreTime(1000, r)
+	if small >= large {
+		t.Fatalf("restore time must grow with state: %v vs %v", small, large)
+	}
+}
+
+func TestCalibratedRangesSane(t *testing.T) {
+	m := Default()
+	r := dist.NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if iv := m.NextInterval(r); iv < 30*time.Second || iv > 180*time.Second {
+			t.Fatalf("interval %v outside clamp", iv)
+		}
+		if c := m.CostTime(r); c < 100*time.Millisecond || c > 5*time.Second {
+			t.Fatalf("cost %v outside clamp", c)
+		}
+		if s := m.StateSizeMB(r); s < 16 || s > 4096 {
+			t.Fatalf("state %f MB outside clamp", s)
+		}
+	}
+}

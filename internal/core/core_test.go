@@ -16,14 +16,14 @@ func smallTrace(nodes int, horizon time.Duration, seed int64, meanIdle float64) 
 	return cfg.Generate()
 }
 
-func newFibSystem(nodes int, mode Mode, seed int64) *System {
-	cfg := DefaultSystemConfig(nodes, mode.String())
+func newFibSystem(nodes int, policyName string, seed int64) *System {
+	cfg := DefaultSystemConfig(nodes, policyName)
 	cfg.Seed = seed
 	return NewSystem(cfg)
 }
 
 func TestFibReplenishmentKeepsDepth(t *testing.T) {
-	s := newFibSystem(8, ModeFib, 1)
+	s := newFibSystem(8, "fib", 1)
 	s.LoadTrace(&workload.Trace{Nodes: 8, Horizon: time.Hour}) // no idle windows
 	s.Start()
 	s.Run(5 * time.Minute)
@@ -40,7 +40,7 @@ func TestFibReplenishmentKeepsDepth(t *testing.T) {
 }
 
 func TestVarReplenishmentKeepsDepth(t *testing.T) {
-	s := newFibSystem(8, ModeVar, 1)
+	s := newFibSystem(8, "var", 1)
 	s.LoadTrace(&workload.Trace{Nodes: 8, Horizon: time.Hour})
 	s.Start()
 	s.Run(5 * time.Minute)
@@ -50,7 +50,7 @@ func TestVarReplenishmentKeepsDepth(t *testing.T) {
 }
 
 func TestPilotLifecycleEndToEnd(t *testing.T) {
-	s := newFibSystem(16, ModeFib, 2)
+	s := newFibSystem(16, "fib", 2)
 	tr := smallTrace(16, 2*time.Hour, 3, 5)
 	s.LoadTrace(tr)
 	s.Ctrl.RegisterAction(&whisk.Action{
@@ -89,7 +89,7 @@ func TestSigtermDuringWarmupExitsCleanly(t *testing.T) {
 	// A 30-second window with a long declared end: the pilot starts,
 	// gets preempted while still warming up (warm-up median 12.5 s but
 	// scheduling takes ~15 s, so the reclaim hits during warm-up).
-	s := newFibSystem(1, ModeFib, 3)
+	s := newFibSystem(1, "fib", 3)
 	mcfg := s.Manager.cfg
 	_ = mcfg
 	tr := &workload.Trace{Nodes: 1, Horizon: time.Hour, Periods: []workload.IdlePeriod{
@@ -110,7 +110,7 @@ func TestSigtermDuringWarmupExitsCleanly(t *testing.T) {
 }
 
 func TestGracefulHandoffPreservesWork(t *testing.T) {
-	s := newFibSystem(4, ModeFib, 4)
+	s := newFibSystem(4, "fib", 4)
 	// Two long windows; one closes mid-run and preempts its pilot.
 	tr := &workload.Trace{Nodes: 4, Horizon: 3 * time.Hour, Periods: []workload.IdlePeriod{
 		{Node: 0, Start: 0, End: 30 * time.Minute, DeclaredEnd: 2 * time.Hour},
@@ -191,7 +191,7 @@ func (f *fakeBackend) Invoke(action string, done func(*whisk.Invocation)) *whisk
 }
 
 func TestWrapperFallsBackOn503(t *testing.T) {
-	s := newFibSystem(2, ModeFib, 6)
+	s := newFibSystem(2, "fib", 6)
 	s.LoadTrace(&workload.Trace{Nodes: 2, Horizon: time.Hour}) // never any invoker
 	s.Ctrl.RegisterAction(&whisk.Action{Name: "f", Exec: whisk.FixedExec(time.Millisecond)})
 	s.Start()
@@ -274,7 +274,7 @@ func (f *flakyBackend) Invoke(action string, done func(*whisk.Invocation)) *whis
 }
 
 func TestSlurmLoggerSpacing(t *testing.T) {
-	s := newFibSystem(8, ModeFib, 7)
+	s := newFibSystem(8, "fib", 7)
 	s.LoadTrace(smallTrace(8, time.Hour, 8, 3))
 	s.Start()
 	s.Run(time.Hour)
@@ -288,7 +288,7 @@ func TestSlurmLoggerSpacing(t *testing.T) {
 }
 
 func TestOWStatsShape(t *testing.T) {
-	s := newFibSystem(16, ModeFib, 9)
+	s := newFibSystem(16, "fib", 9)
 	s.LoadTrace(smallTrace(16, 2*time.Hour, 10, 5))
 	s.Start()
 	s.Run(2 * time.Hour)
@@ -325,12 +325,6 @@ func TestWorkerStatesConservation(t *testing.T) {
 	}
 }
 
-func TestModeString(t *testing.T) {
-	if ModeFib.String() != "fib" || ModeVar.String() != "var" {
-		t.Error("mode strings wrong")
-	}
-}
-
 func TestMinutesHelper(t *testing.T) {
 	ds := Minutes(2, 90)
 	if ds[0] != 2*time.Minute || ds[1] != 90*time.Minute {
@@ -339,7 +333,7 @@ func TestMinutesHelper(t *testing.T) {
 }
 
 func TestReadySpansRecorded(t *testing.T) {
-	s := newFibSystem(8, ModeFib, 11)
+	s := newFibSystem(8, "fib", 11)
 	s.LoadTrace(smallTrace(8, 90*time.Minute, 12, 4))
 	s.Start()
 	s.Run(90 * time.Minute)
@@ -353,7 +347,7 @@ func TestReadySpansRecorded(t *testing.T) {
 
 func TestSystemDeterminism(t *testing.T) {
 	run := func() string {
-		s := newFibSystem(8, ModeFib, 42)
+		s := newFibSystem(8, "fib", 42)
 		s.LoadTrace(smallTrace(8, time.Hour, 43, 4))
 		s.Start()
 		s.Run(time.Hour)

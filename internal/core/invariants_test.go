@@ -24,11 +24,11 @@ func TestSystemInvariants(t *testing.T) {
 	for _, seed := range []int64{1, 7, 23, 99} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			mode := ModeFib
+			policyName := "fib"
 			if seed%2 == 1 {
-				mode = ModeVar
+				policyName = "var"
 			}
-			cfg := DefaultSystemConfig(32, mode.String())
+			cfg := DefaultSystemConfig(32, policyName)
 			cfg.Seed = seed
 			s := NewSystem(cfg)
 			trCfg := workload.DefaultIdleProcess(32, 3*time.Hour, seed+1)
@@ -55,7 +55,7 @@ func TestSystemInvariants(t *testing.T) {
 
 			cl := s.Slurm.Cluster()
 			maxQueue := len(SetA1) * 10
-			if mode == ModeVar {
+			if policyName == "var" {
 				maxQueue = 100
 			}
 			check := s.Sim.Every(time.Minute, func() {

@@ -21,31 +21,6 @@ import (
 	"repro/internal/whisk"
 )
 
-// Mode selects one of the paper's two pilot-job supply models
-// (§III-D).
-//
-// Deprecated: Mode survives as a thin alias for the two paper
-// policies. New code should set ManagerConfig.Policy (any
-// policy.SupplyPolicy, e.g. from the policy registry) instead; a nil
-// Policy falls back to the Mode field.
-type Mode uint8
-
-// Supply models: ModeFib submits bags of fixed-length jobs with greedy
-// length-proportional priorities; ModeVar submits flexible jobs whose
-// length Slurm decides between --time-min and --time.
-const (
-	ModeFib Mode = iota
-	ModeVar
-)
-
-// String implements fmt.Stringer.
-func (m Mode) String() string {
-	if m == ModeVar {
-		return "var"
-	}
-	return "fib"
-}
-
 // SetA1 is the job-length set the paper selected for the fib model
 // (Table I, set A1).
 var SetA1 = policy.SetA1
@@ -56,30 +31,17 @@ func Minutes(ms ...int) []time.Duration { return policy.Minutes(ms...) }
 // ManagerConfig parameterizes the HPC-Whisk job manager.
 type ManagerConfig struct {
 	// Policy is the pilot-supply policy. When nil, the manager builds
-	// the paper policy selected by Mode from the Fib*/Var* fields
-	// below.
+	// the paper's fib policy from the Fib* fields below.
 	Policy policy.SupplyPolicy
-
-	// Mode selects the paper supply model when Policy is nil.
-	//
-	// Deprecated: set Policy instead.
-	Mode Mode
 
 	// Partition is the tier-0 Slurm partition pilots are submitted to.
 	Partition string
 
 	// FibLengths and FibDepth: keep FibDepth queued jobs of each length
 	// (the paper keeps 10 of each of the 9 A1 lengths). Used only when
-	// Policy is nil and Mode is ModeFib.
+	// Policy is nil. Var-model knobs live in policy.VarConfig.
 	FibLengths []time.Duration
 	FibDepth   int
-
-	// VarDepth, VarMin, VarMax: keep VarDepth queued flexible jobs with
-	// --time-min=VarMin and --time=VarMax (the paper keeps 100 jobs of
-	// 2 min–2 h). Used only when Policy is nil and Mode is ModeVar.
-	VarDepth int
-	VarMin   time.Duration
-	VarMax   time.Duration
 
 	// Replenish is the queue top-up period (15 s in the paper).
 	Replenish time.Duration
@@ -113,18 +75,15 @@ type ManagerConfig struct {
 // DefaultManagerConfig returns the paper's manager configuration with
 // the named pilot-supply policy from the policy registry ("fib",
 // "var", "adaptive", ...). Unknown names panic; validate with
-// policy.New first when the name comes from user input. The legacy
-// Fib*/Var* fields stay populated with the paper values so callers
-// that clear Policy and set Mode keep working.
+// policy.New first when the name comes from user input. The Fib*
+// fields stay populated with the paper values so callers that clear
+// Policy keep the paper's fib supply.
 func DefaultManagerConfig(policyName string) ManagerConfig {
 	return ManagerConfig{
 		Policy:           policy.MustNew(policyName),
 		Partition:        "whisk",
 		FibLengths:       append([]time.Duration(nil), SetA1...),
 		FibDepth:         10,
-		VarDepth:         100,
-		VarMin:           2 * time.Minute,
-		VarMax:           120 * time.Minute,
 		Replenish:        15 * time.Second,
 		WarmupSeconds:    dist.WarmupSeconds(),
 		GracefulHandoff:  true,
@@ -133,17 +92,6 @@ func DefaultManagerConfig(policyName string) ManagerConfig {
 		Invoker:          whisk.DefaultInvokerConfig(),
 		Seed:             1,
 	}
-}
-
-// DefaultManagerConfigMode returns the paper's configuration for one
-// of the two legacy supply modes.
-//
-// Deprecated: call DefaultManagerConfig with the policy's registry
-// name ("fib" or "var") instead.
-func DefaultManagerConfigMode(mode Mode) ManagerConfig {
-	cfg := DefaultManagerConfig(mode.String())
-	cfg.Mode = mode
-	return cfg
 }
 
 // policySeedOffset decorrelates the policy's private random stream
@@ -207,17 +155,12 @@ type PilotManager struct {
 }
 
 // NewPilotManager wires a manager to a Slurm emulator and controller.
-// A nil cfg.Policy builds the paper policy selected by cfg.Mode from
-// the config's Fib*/Var* fields.
+// A nil cfg.Policy builds the paper's fib policy from the config's
+// Fib* fields.
 func NewPilotManager(emu *slurm.Emulator, ctrl *whisk.Controller, cfg ManagerConfig) *PilotManager {
 	pol := cfg.Policy
 	if pol == nil {
-		switch cfg.Mode {
-		case ModeVar:
-			pol = policy.NewVar(policy.VarConfig{Depth: cfg.VarDepth, Min: cfg.VarMin, Max: cfg.VarMax})
-		default:
-			pol = policy.NewFib(policy.FibConfig{Lengths: cfg.FibLengths, Depth: cfg.FibDepth})
-		}
+		pol = policy.NewFib(policy.FibConfig{Lengths: cfg.FibLengths, Depth: cfg.FibDepth})
 	}
 	pol.Init(dist.NewRand(cfg.Seed + policySeedOffset))
 	m := &PilotManager{

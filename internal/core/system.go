@@ -58,15 +58,6 @@ func DefaultSystemConfig(nodes int, policyName string) SystemConfig {
 	}
 }
 
-// DefaultSystemConfigMode returns the paper deployment for one of the
-// two legacy supply modes.
-//
-// Deprecated: call DefaultSystemConfig with the policy's registry name
-// ("fib" or "var") instead.
-func DefaultSystemConfigMode(nodes int, mode Mode) SystemConfig {
-	return DefaultSystemConfig(nodes, mode.String())
-}
-
 // Site is one fully wired HPC-Whisk deployment — Slurm emulator,
 // OpenWhisk controller and bus, pilot manager, Slurm-level logger — on
 // a simulation plane it may share with other sites. A single-cluster

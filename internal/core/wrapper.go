@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/stats"
 	"repro/internal/whisk"
 )
 
@@ -11,6 +12,15 @@ import (
 // commercial-cloud model of internal/lambda both implement it.
 type Backend interface {
 	Invoke(action string, done func(*whisk.Invocation)) *whisk.Invocation
+}
+
+// ResumeBackend is a Backend that can continue a checkpointed
+// execution from its last durable checkpoint instead of restarting it;
+// the commercial-cloud model implements it by uploading the state and
+// running only the remaining body.
+type ResumeBackend interface {
+	Backend
+	InvokeResume(action string, remaining time.Duration, stateMB float64, done func(*whisk.Invocation)) *whisk.Invocation
 }
 
 // Wrapper is the client-side fallback of Alg. 1 (§III-E): calls go to
@@ -27,8 +37,21 @@ type Wrapper struct {
 	// Alg. 1).
 	Cooldown time.Duration
 
+	// ResumeTimeouts extends Alg. 1 to the checkpoint subsystem: a
+	// primary invocation that timed out with checkpointed progress
+	// re-invokes on the fallback from its last checkpoint (paying
+	// upload + restore, running only the remaining body) instead of
+	// surfacing the timeout. Requires a fallback implementing
+	// ResumeBackend; off by default so the plain Alg. 1 semantics — and
+	// every golden-pinned run — are untouched.
+	ResumeTimeouts bool
+
 	has503  bool
 	last503 des.Time
+
+	// work, when the primary is a whisk.Controller, mirrors cloud
+	// resumes into the site's compute ledger.
+	work *stats.WorkCounters
 
 	// callPool recycles the per-call retry context (action + done +
 	// cached completion callback), so a primary invocation costs no
@@ -39,6 +62,7 @@ type Wrapper struct {
 	PrimaryCalls  int
 	FallbackCalls int
 	Retries       int
+	CloudResumes  int
 }
 
 // wrapCall is one in-flight primary invocation's retry context. fn is
@@ -59,6 +83,31 @@ func (c *wrapCall) onDone(inv *whisk.Invocation) {
 	action, done := c.action, c.done
 	c.action, c.done = "", nil
 	w.callPool = append(w.callPool, c)
+	if w.ResumeTimeouts && inv.Status == whisk.StatusTimeout && inv.Progress > 0 && inv.Remaining() > 0 {
+		if rb, ok := w.fallback.(ResumeBackend); ok {
+			// The cluster lost the pilot mid-execution and the client
+			// timed out waiting: continue from the last checkpoint on
+			// the commercial cloud. Copy the resume token's fields
+			// before re-entering any backend — under pooling the object
+			// may recycle once this callback returns. Latency back-dates
+			// to the original submission, like the 503 retry.
+			w.CloudResumes++
+			if w.work != nil {
+				w.work.CloudResumes++
+			}
+			sub := inv.Submitted
+			remaining, state := inv.Remaining(), inv.StateMB
+			rb.InvokeResume(action, remaining, state, func(retry *whisk.Invocation) {
+				if retry.Submitted > sub {
+					retry.Submitted = sub
+				}
+				if done != nil {
+					done(retry)
+				}
+			})
+			return
+		}
+	}
 	if inv.Status == whisk.Status503 && w.fallback != nil {
 		w.has503 = true
 		w.last503 = w.sim.Now()
@@ -101,7 +150,11 @@ func (w *Wrapper) getCall() *wrapCall {
 // NewWrapper builds the Alg. 1 wrapper. fallback may be nil, in which
 // case 503s surface to the caller unchanged (retries disabled).
 func NewWrapper(sim *des.Sim, primary, fallback Backend) *Wrapper {
-	return &Wrapper{sim: sim, primary: primary, fallback: fallback, Cooldown: time.Minute}
+	w := &Wrapper{sim: sim, primary: primary, fallback: fallback, Cooldown: time.Minute}
+	if ctrl, ok := primary.(*whisk.Controller); ok {
+		w.work = &ctrl.Work
+	}
+	return w
 }
 
 // Invoke implements Alg. 1.

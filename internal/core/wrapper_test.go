@@ -4,7 +4,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bus"
+	"repro/internal/checkpoint"
 	"repro/internal/des"
+	"repro/internal/dist"
+	"repro/internal/lambda"
 	"repro/internal/whisk"
 	"repro/internal/workload"
 )
@@ -137,5 +141,105 @@ func TestWrapperRetryLatencySpansFullChain(t *testing.T) {
 	}
 	if want := issue + 20*time.Millisecond + 30*time.Millisecond; comp != want {
 		t.Errorf("Completed = %v, want %v (503 round trip + fallback leg)", comp, want)
+	}
+}
+
+// TestWrapperResumesTimeoutOnCloud pins the checkpoint extension of
+// Alg. 1: a checkpointed execution whose client-visible timeout expires
+// with durable progress continues on the commercial cloud from its last
+// checkpoint — the caller sees one successful invocation back-dated to
+// the original submission, never the timeout. With the gate off (the
+// default) the same run surfaces the timeout unchanged.
+func TestWrapperResumesTimeoutOnCloud(t *testing.T) {
+	run := func(resumeTimeouts bool) (whisk.Status, int, *Wrapper, *lambda.Client, *whisk.Controller) {
+		sim := des.New()
+		b := bus.New(sim, nil, 1)
+		cfg := whisk.DefaultControllerConfig()
+		cfg.ActionTimeout = 2 * time.Second
+		ctrl := whisk.NewController(sim, b, cfg, 2)
+		ctrl.RegisterAction(&whisk.Action{
+			Name: "f", MemoryMB: 256,
+			Exec:          whisk.FixedExec(30 * time.Second),
+			Interruptible: true,
+			Checkpoint: &checkpoint.Model{
+				Interval:        dist.Constant{Value: 1},
+				Cost:            dist.Constant{Value: 0.1},
+				StateMB:         dist.Constant{Value: 64},
+				BandwidthMBps:   dist.Constant{Value: 1000},
+				RestoreOverhead: dist.Constant{Value: 0.5},
+			},
+		})
+		ctrl.Register(whisk.NewInvoker(whisk.DefaultInvokerConfig(), 3))
+		fb := lambda.NewClient(sim, lambda.DefaultClientConfig(), 4)
+		w := NewWrapper(sim, ctrl, fb)
+		w.ResumeTimeouts = resumeTimeouts
+
+		status, resumes := whisk.StatusPending, 0
+		w.Invoke("f", func(inv *whisk.Invocation) { status, resumes = inv.Status, inv.Resumes })
+		sim.RunFor(5 * time.Minute)
+		return status, resumes, w, fb, ctrl
+	}
+
+	status, resumes, w, fb, ctrl := run(true)
+	if status != whisk.StatusSuccess {
+		t.Fatalf("status = %v, want the cloud resume to succeed", status)
+	}
+	if resumes != 1 {
+		t.Errorf("resumes = %d, want 1", resumes)
+	}
+	if w.CloudResumes != 1 || fb.Resumes != 1 || ctrl.Work.CloudResumes != 1 {
+		t.Errorf("cloud resumes wrapper=%d client=%d ledger=%d, want 1/1/1",
+			w.CloudResumes, fb.Resumes, ctrl.Work.CloudResumes)
+	}
+
+	status, _, w, fb, _ = run(false)
+	if status != whisk.StatusTimeout {
+		t.Fatalf("gated off: status = %v, want the timeout surfaced", status)
+	}
+	if w.CloudResumes != 0 || fb.Resumes != 0 {
+		t.Errorf("gated off: cloud resumes wrapper=%d client=%d, want 0/0", w.CloudResumes, fb.Resumes)
+	}
+}
+
+// TestWrapperResumeBackDatesSubmission pins the latency semantics of a
+// cloud resume: like the 503 retry, the resumed invocation's Submitted
+// is back-dated to the original submission so Completed−Submitted spans
+// the stranded cluster attempt plus the cloud leg.
+func TestWrapperResumeBackDatesSubmission(t *testing.T) {
+	sim := des.New()
+	b := bus.New(sim, nil, 1)
+	cfg := whisk.DefaultControllerConfig()
+	cfg.ActionTimeout = 2 * time.Second
+	ctrl := whisk.NewController(sim, b, cfg, 2)
+	ctrl.RegisterAction(&whisk.Action{
+		Name: "f", MemoryMB: 256,
+		Exec:          whisk.FixedExec(30 * time.Second),
+		Interruptible: true,
+		Checkpoint: &checkpoint.Model{
+			Interval:        dist.Constant{Value: 1},
+			Cost:            dist.Constant{Value: 0.1},
+			StateMB:         dist.Constant{Value: 64},
+			BandwidthMBps:   dist.Constant{Value: 1000},
+			RestoreOverhead: dist.Constant{Value: 0.5},
+		},
+	})
+	ctrl.Register(whisk.NewInvoker(whisk.DefaultInvokerConfig(), 3))
+	w := NewWrapper(sim, ctrl, lambda.NewClient(sim, lambda.DefaultClientConfig(), 4))
+	w.ResumeTimeouts = true
+
+	issue := 7 * time.Second
+	var sub, comp time.Duration
+	sim.Schedule(issue, func() {
+		w.Invoke("f", func(inv *whisk.Invocation) { sub, comp = inv.Submitted, inv.Completed })
+	})
+	sim.RunFor(10 * time.Minute)
+
+	if sub != issue {
+		t.Errorf("Submitted = %v, want the original issue instant %v", sub, issue)
+	}
+	// The chain is at least the 2 s cluster timeout plus the remaining
+	// body on the cloud (< full 30 s — the resume skipped completed work).
+	if comp-sub <= 2*time.Second || comp-sub >= 40*time.Second {
+		t.Errorf("client-observed latency = %v, want timeout + cloud leg", comp-sub)
 	}
 }

@@ -88,3 +88,52 @@ func CalmIdlePeriodTail(p, alpha float64) Dist {
 func SaturationPeriodSeconds() Dist {
 	return Clamped{D: Lognormal{Mu: math.Log(420), Sigma: 0.65}, Min: 60, Max: 3600}
 }
+
+// Checkpoint/restore calibrations: the fast lane of §III-C rescues
+// queued requests on SIGTERM, but a running execution longer than the
+// 3-minute grace window is lost. The checkpoint subsystem (Limitless
+// FaaS-style periodic memory checkpoints with invoke-driven
+// resumption; rFaaS's lease framing motivates charging restore as a
+// first-class latency) draws its parameters here so downstream code
+// stays free of magic numbers and goldens stay deterministic.
+
+// CheckpointIntervalSeconds models the gap between successive memory
+// checkpoints of one execution. CRIU-class incremental dumps amortize
+// well around once a minute: frequent enough that at most ~1 min of
+// work is ever lost to a reclaim (well under the 3-minute SIGTERM
+// grace of §III-B), rare enough that the dump pause stays a <2%
+// overhead for the §VII scientific functions. Jitter decorrelates the
+// checkpoint clocks of co-resident executions.
+func CheckpointIntervalSeconds() Dist {
+	return Clamped{D: Lognormal{Mu: math.Log(60), Sigma: 0.25}, Min: 30, Max: 180}
+}
+
+// CheckpointCostSeconds models the stop-the-world pause of one
+// checkpoint dump: page-table walk plus dirty-page writeout, sub-second
+// for the common working sets with a tail for large-memory functions.
+func CheckpointCostSeconds() Dist {
+	return Clamped{D: Lognormal{Mu: math.Log(0.6), Sigma: 0.5}, Min: 0.1, Max: 5}
+}
+
+// CheckpointStateMB models the serialized state size of one checkpoint
+// (the bytes a resume must transfer before work continues). Function
+// working sets cluster well under their container memory limits:
+// median ≈192 MB with a tail toward the multi-GB scientific kernels.
+func CheckpointStateMB() Dist {
+	return Clamped{D: Lognormal{Mu: math.Log(192), Sigma: 0.8}, Min: 16, Max: 4096}
+}
+
+// RestoreBandwidthMBps models the effective transfer bandwidth when a
+// resuming pilot pulls checkpoint state from the shared parallel file
+// system — nominal link speed eroded by contention with prime I/O.
+func RestoreBandwidthMBps() Dist {
+	return Clamped{D: Lognormal{Mu: math.Log(350), Sigma: 0.4}, Min: 80, Max: 1200}
+}
+
+// RestoreOverheadSeconds models the fixed cost of reconstructing a
+// process from its checkpoint image once the state is local (CRIU
+// restore: namespace and page-map reconstruction), independent of
+// state size.
+func RestoreOverheadSeconds() Dist {
+	return Clamped{D: Lognormal{Mu: math.Log(1.2), Sigma: 0.4}, Min: 0.3, Max: 8}
+}

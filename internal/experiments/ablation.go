@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/stats"
 )
 
 // AblationVariant is one configuration of the hand-off machinery.
@@ -14,6 +15,10 @@ type AblationVariant struct {
 	Name             string
 	GracefulHandoff  bool
 	InterruptRunning bool
+
+	// CheckpointInterval > 0 layers the checkpoint/restore subsystem on
+	// top of the variant (see DayConfig.CheckpointInterval).
+	CheckpointInterval time.Duration
 }
 
 // AblationVariants returns the three design points DESIGN.md calls out:
@@ -37,6 +42,10 @@ type AblationRow struct {
 	LostShare float64
 	Handoffs  int
 	Preempted int
+
+	// Work is the variant day's compute ledger; Work.Lost is the
+	// lost-work axis the checkpoint arm is measured on.
+	Work stats.WorkCounters
 }
 
 // AblationResult compares the hand-off design points.
@@ -62,7 +71,19 @@ type AblationConfig struct {
 	// collectors (see DayConfig.Streaming). The ablation reads only
 	// totals-derived shares, which are exact in both modes.
 	Streaming bool
+
+	// Checkpoint adds a fourth design point, handoff+interrupt+checkpoint:
+	// the full §III-C protocol plus periodic checkpoints at
+	// CheckpointInterval (DefaultAblationCheckpointInterval when zero).
+	// Opt-in so the golden-pinned three-row ablation is untouched.
+	Checkpoint         bool
+	CheckpointInterval time.Duration
 }
+
+// DefaultAblationCheckpointInterval is the checkpoint cadence of the
+// fourth ablation arm: well under the 500 ms SleepExec body, so a
+// typical execution dumps several checkpoints before any interrupt.
+const DefaultAblationCheckpointInterval = 100 * time.Millisecond
 
 // RunAblation runs a smaller cluster slice (for tractable bench times)
 // through each variant with identical trace and load seeds, isolating
@@ -83,6 +104,17 @@ func RunAblationWith(a AblationConfig) AblationResult {
 func RunAblationCtx(ctx context.Context, a AblationConfig, progress ProgressFunc) (AblationResult, error) {
 	res := AblationResult{Horizon: a.Horizon, Policy: a.Policy}
 	variants := AblationVariants()
+	if a.Checkpoint {
+		iv := a.CheckpointInterval
+		if iv <= 0 {
+			iv = DefaultAblationCheckpointInterval
+		}
+		variants = append(variants, AblationVariant{
+			Name:            "handoff+interrupt+checkpoint",
+			GracefulHandoff: true, InterruptRunning: true,
+			CheckpointInterval: iv,
+		})
+	}
 	perDay := a.Horizon + dayDrain
 	total := time.Duration(len(variants)) * perDay
 	for i, v := range variants {
@@ -97,6 +129,7 @@ func RunAblationCtx(ctx context.Context, a AblationConfig, progress ProgressFunc
 		cfg.SleepExec = 500 * time.Millisecond // long enough to sit in queues
 		cfg.GracefulHandoff = v.GracefulHandoff
 		cfg.InterruptRunning = v.InterruptRunning
+		cfg.CheckpointInterval = v.CheckpointInterval
 		cfg.Streaming = a.Streaming
 		day, err := RunDayCtx(ctx, cfg, offsetProgress(progress, time.Duration(i)*perDay, total))
 		if err != nil {
@@ -108,6 +141,7 @@ func RunAblationCtx(ctx context.Context, a AblationConfig, progress ProgressFunc
 			LostShare: day.Load.LostShare,
 			Handoffs:  day.Handoffs,
 			Preempted: day.Preempted,
+			Work:      day.Work,
 		})
 	}
 	return res, nil
@@ -117,8 +151,16 @@ func RunAblationCtx(ctx context.Context, a AblationConfig, progress ProgressFunc
 func (r AblationResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Ablation — hand-off design points over %v\n", r.Horizon)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "  %-18s lost=%.2f%% success=%.2f%% handoffs=%d preempted=%d\n",
+		fmt.Fprintf(w, "  %-18s lost=%.2f%% success=%.2f%% handoffs=%d preempted=%d",
 			row.Variant.Name, 100*row.LostShare, 100*row.Load.SuccessShare,
 			row.Handoffs, row.Preempted)
+		// The checkpoint arm alone carries the work ledger; the plain
+		// variants keep the golden-pinned three-row layout untouched.
+		if row.Variant.CheckpointInterval > 0 {
+			fmt.Fprintf(w, " lost-work=%v wasted=%v dumps=%d resumes=%d",
+				row.Work.Lost.Round(time.Millisecond), row.Work.Wasted.Round(time.Millisecond),
+				row.Work.Checkpoints, row.Work.Resumed)
+		}
+		fmt.Fprintln(w)
 	}
 }

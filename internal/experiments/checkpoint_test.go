@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCheckpointDisabledMatchesGoldens pins the checkpoint subsystem's
+// no-op guarantee: with CheckpointInterval = 0 the (attached but
+// disabled) model draws no RNG and schedules no events, so the
+// fib/var days reproduce the committed goldens byte for byte —
+// sequentially and under the sharded pdes coordinator.
+func TestCheckpointDisabledMatchesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
+	withInterval := func(cfg DayConfig, d time.Duration) DayConfig {
+		cfg.CheckpointInterval = d
+		return cfg
+	}
+	cases := []struct {
+		name   string
+		golden string
+		cfg    DayConfig
+	}{
+		{"fib-disabled", "fibday_seed2.golden", withInterval(FibDay(2), 0)},
+		{"var-disabled", "varday_seed2.golden", withInterval(VarDay(2), 0)},
+		{"fib-disabled-sharded", "fibday_seed2.golden", withShards(withInterval(FibDay(2), 0), 2)},
+		{"var-disabled-sharded", "varday_seed2.golden", withShards(withInterval(VarDay(2), 0), 2)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := RunDay(tc.cfg)
+			var buf bytes.Buffer
+			r.Render(&buf)
+			r.RenderSeries(&buf)
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("render diverged from golden %s with checkpointing disabled (%d vs %d bytes)",
+					tc.golden, buf.Len(), len(want))
+			}
+			// The ledger must show a truly idle subsystem — goodput
+			// accrues regardless, but no checkpoint machinery ran.
+			if r.Work.Checkpoints != 0 || r.Work.Resumed != 0 ||
+				r.Work.CheckpointTime != 0 || r.Work.RestoreTime != 0 {
+				t.Errorf("disabled run touched the checkpoint ledger: %+v", r.Work)
+			}
+			if r.Work.Goodput == 0 {
+				t.Error("no goodput accounted on a loaded day")
+			}
+		})
+	}
+}
+
+// TestCheckpointAblationGoldenUnchanged pins the default three-arm
+// ablation against its committed golden with the Checkpoint knob
+// explicitly off: the fourth arm is opt-in and must not perturb the
+// existing rows.
+func TestCheckpointAblationGoldenUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "ablation_n256_h4_seed5.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunAblationWith(AblationConfig{
+		Nodes: 256, Horizon: 4 * time.Hour, Seed: 5, Checkpoint: false,
+	})
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("ablation render diverged from golden with checkpoint arm off:\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestCheckpointEnabledShardedIdentity extends the shard-locality
+// invariant to checkpointing itself: segment events, resume tokens,
+// and the work ledger live entirely on the site's plane, so a
+// checkpoint-enabled day under the pdes coordinator is byte-identical
+// to the sequential run — renders and ledger both.
+func TestCheckpointEnabledShardedIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
+	cfg := FibDay(7)
+	cfg.Nodes = 64
+	cfg.Horizon = 2 * time.Hour
+	cfg.MeanIdleNodes = 6
+	cfg.SaturatedFraction = 0.02
+	cfg.QPS = 5
+	cfg.NumActions = 50
+	cfg.SleepExec = 500 * time.Millisecond
+	cfg.CheckpointInterval = 100 * time.Millisecond
+
+	seq := RunDay(cfg)
+	cfg.Shards = 2
+	shd := RunDay(cfg)
+
+	if seq.Work != shd.Work {
+		t.Errorf("work ledgers diverged:\nsequential: %+v\nsharded:    %+v", seq.Work, shd.Work)
+	}
+	var a, b bytes.Buffer
+	seq.Render(&a)
+	shd.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("checkpoint-enabled renders diverged between sequential and sharded:\n%s\nvs\n%s",
+			a.Bytes(), b.Bytes())
+	}
+	if seq.Work.Checkpoints == 0 {
+		t.Error("checkpoint-enabled day dumped no checkpoints — the identity check is vacuous")
+	}
+}
+
+// TestFrontierReclaimsRegion is the tentpole's acceptance check: on a
+// periodic idle surface there is a duration × window cell where
+// resumed executions complete work the baseline loses outright. The
+// 3-minute body against 4-minute windows (2-minute gaps) can never
+// finish without checkpoints — every window interrupts it and progress
+// restarts from zero — while the checkpointed arm carries progress
+// across windows and completes nearly everything.
+func TestFrontierReclaimsRegion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
+	cfg := DefaultFrontierConfig(3)
+	cfg.Durations = []time.Duration{3 * time.Minute}
+	cfg.Windows = []time.Duration{4 * time.Minute}
+	cfg.Horizon = time.Hour
+	r := RunFrontier(cfg)
+
+	if len(r.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(r.Cells))
+	}
+	c := r.Cells[0]
+	if c.BaselineShare > 0.10 {
+		t.Errorf("baseline completed %.1f%% of a 3m body in 4m windows — expected near-total loss",
+			100*c.BaselineShare)
+	}
+	if c.CheckpointShare < 0.80 {
+		t.Errorf("checkpointed arm completed only %.1f%%, want most requests rescued",
+			100*c.CheckpointShare)
+	}
+	if !c.Reclaimed() || r.ReclaimedCells() != 1 {
+		t.Error("the cell was not counted as reclaimed")
+	}
+	if c.Work.Resumed == 0 {
+		t.Error("no execution ever resumed — completions did not cross windows")
+	}
+	if c.Work.Lost != 0 {
+		t.Errorf("checkpointed arm lost %v of body time; resumes should rescue interrupted progress", c.Work.Lost)
+	}
+}
+
+// TestCheckpointAblationArmLowerLostWork is the satellite acceptance
+// check on the ablation: the handoff+interrupt+checkpoint arm must
+// report strictly lower lost work than plain handoff+interrupt on the
+// identical day — checkpoints convert interrupt losses into bounded
+// per-segment waste.
+func TestCheckpointAblationArmLowerLostWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
+	}
+	r := RunAblationWith(AblationConfig{
+		Nodes: 64, Horizon: 2 * time.Hour, Seed: 5, Checkpoint: true,
+	})
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want the 3 base arms + checkpoint arm", len(r.Rows))
+	}
+	var base, ckpt *AblationRow
+	for i := range r.Rows {
+		switch r.Rows[i].Variant.Name {
+		case "handoff+interrupt":
+			base = &r.Rows[i]
+		case "handoff+interrupt+checkpoint":
+			ckpt = &r.Rows[i]
+		}
+	}
+	if base == nil || ckpt == nil {
+		t.Fatal("expected variants missing from the ablation")
+	}
+	if base.Work.Lost == 0 {
+		t.Fatal("baseline arm lost no work — the comparison is vacuous (no interrupts fired?)")
+	}
+	if ckpt.Work.Lost >= base.Work.Lost {
+		t.Errorf("checkpoint arm lost %v, want strictly below the %v of handoff+interrupt",
+			ckpt.Work.Lost, base.Work.Lost)
+	}
+	if ckpt.Work.Checkpoints == 0 || ckpt.Work.Resumed == 0 {
+		t.Errorf("checkpoint arm never dumped/resumed: %+v", ckpt.Work)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/dist"
@@ -21,19 +22,20 @@ import (
 // on average; 0.6% vs 9.44% zero-available states), so the trace
 // calibration is per-day.
 type DayConfig struct {
-	// Mode selects the paper supply model when Policy is empty.
-	//
-	// Deprecated: set Policy (a registry name) instead.
-	Mode core.Mode
-
 	// Policy names the pilot-supply policy in the policy registry
 	// ("fib", "var", "adaptive", "lease", "hybrid", or anything
-	// registered by the embedding program). Empty falls back to Mode.
+	// registered by the embedding program). Empty defaults to "fib".
 	Policy string
 
 	Nodes   int
 	Horizon time.Duration
 	Seed    int64
+
+	// Trace, when set, is used verbatim instead of the generated
+	// per-day calibration — the checkpoint frontier drives hand-built
+	// periodic idle windows through the same pipeline. The calibration
+	// fields below are ignored then.
+	Trace *workload.Trace
 
 	// Trace calibration for the day.
 	MeanIdleNodes     float64
@@ -71,6 +73,21 @@ type DayConfig struct {
 	GracefulHandoff  bool
 	InterruptRunning bool
 
+	// CheckpointInterval > 0 attaches the calibrated checkpoint model
+	// (internal/checkpoint) with the interval pinned to this constant
+	// to every load-generated action: executions dump state each
+	// interval and an interrupted execution resumes from its last
+	// checkpoint on a successor pilot instead of losing all progress.
+	// 0 attaches the same model disabled, which draws no RNG — the
+	// golden-pinned runs are byte-identical either way.
+	CheckpointInterval time.Duration
+
+	// ActionTimeout > 0 overrides the controller's client-visible
+	// timeout (default 60 s). The checkpoint frontier stretches it past
+	// the function duration so pilot loss and resume — not the client
+	// timer — decide each request's outcome.
+	ActionTimeout time.Duration
+
 	// Streaming switches every metric collector in the run (loadgen
 	// series and latencies, worker-state series, Slurm-level logger) to
 	// O(1)-memory streaming sketches, for horizons where buffering
@@ -86,7 +103,7 @@ type DayConfig struct {
 // FibDay returns the March 17th, 2022 configuration (§V-B1).
 func FibDay(seed int64) DayConfig {
 	return DayConfig{
-		Mode:              core.ModeFib,
+		Policy:            "fib",
 		Nodes:             PrometheusNodes,
 		Horizon:           24 * time.Hour,
 		Seed:              seed,
@@ -107,7 +124,7 @@ func FibDay(seed int64) DayConfig {
 // VarDay returns the March 21st, 2022 configuration (§V-B2).
 func VarDay(seed int64) DayConfig {
 	return DayConfig{
-		Mode:              core.ModeVar,
+		Policy:            "var",
 		Nodes:             PrometheusNodes,
 		Horizon:           24 * time.Hour,
 		Seed:              seed,
@@ -127,12 +144,12 @@ func VarDay(seed int64) DayConfig {
 }
 
 // PolicyName resolves the effective supply-policy name: the Policy
-// field when set, else the deprecated Mode's name.
+// field when set, else the paper's fib default.
 func (cfg DayConfig) PolicyName() string {
 	if cfg.Policy != "" {
 		return cfg.Policy
 	}
-	return cfg.Mode.String()
+	return "fib"
 }
 
 // figLabel and tableLabel place the run in the paper's numbering; the
@@ -195,6 +212,12 @@ type DayResult struct {
 	Submitted     int
 	Preempted     int
 	Handoffs      int
+
+	// Work is the compute-accounting ledger (goodput / wasted / lost,
+	// checkpoint and restore overheads). Goodput accrues on every run;
+	// the checkpoint-specific fields stay zero unless
+	// CheckpointInterval > 0.
+	Work stats.WorkCounters
 
 	// MetricsBytes is the retained footprint of the run's metric
 	// collectors (loadgen series + latencies, worker-state series,
@@ -269,7 +292,10 @@ func RunDay(cfg DayConfig) DayResult {
 // to RunDay. On cancellation the partial simulation is abandoned and
 // only the error returns.
 func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayResult, error) {
-	tr := cfg.TraceConfig().Generate()
+	tr := cfg.Trace
+	if tr == nil {
+		tr = cfg.TraceConfig().Generate()
+	}
 
 	// A production day is a 1-site federation: the front door adds no
 	// events, no RNG draws, and no allocations, so this path reproduces
@@ -291,6 +317,7 @@ func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayRe
 				MemoryMB:      256,
 				Exec:          whisk.FixedExec(cfg.SleepExec),
 				Interruptible: true,
+				Checkpoint:    checkpoint.WithInterval(cfg.CheckpointInterval),
 			})
 		}
 		gen = loadgen.New(fed.Sim, fed,
@@ -326,6 +353,7 @@ func RunDayCtx(ctx context.Context, cfg DayConfig, progress ProgressFunc) (DayRe
 		Submitted:     sys.Manager.Submitted,
 		Preempted:     sys.Slurm.Preempted,
 		Handoffs:      sys.Manager.Handoffs,
+		Work:          sys.Ctrl.Work,
 	}
 	if gen != nil {
 		res.Load = gen.Report()
@@ -398,6 +426,9 @@ func systemConfig(cfg DayConfig) core.SystemConfig {
 	sc.Manager.GracefulHandoff = cfg.GracefulHandoff
 	sc.Manager.InterruptRunning = cfg.InterruptRunning
 	sc.StreamingStats = cfg.Streaming
+	if cfg.ActionTimeout > 0 {
+		sc.Controller.ActionTimeout = cfg.ActionTimeout
+	}
 	return sc
 }
 
@@ -430,6 +461,15 @@ func (r DayResult) Render(w io.Writer) {
 	if r.Config.QPS > 0 {
 		fmt.Fprintf(w, "  responsiveness (Fig %sb): %s\n",
 			r.Config.figLabel(), r.Load.String())
+	}
+	// Gated on configuration, not Work.Zero(): goodput accrues on every
+	// run, and the golden-pinned runs never set CheckpointInterval.
+	if r.Config.CheckpointInterval > 0 {
+		wk := r.Work
+		fmt.Fprintf(w, "  checkpointing (%v interval): %d dumps, %d resumes (%d cloud); goodput %.1f%% of body time, wasted %v, lost %v; dump %v, restore %v\n",
+			r.Config.CheckpointInterval, wk.Checkpoints, wk.Resumed, wk.CloudResumes,
+			100*wk.GoodputShare(), wk.Wasted.Round(time.Millisecond), wk.Lost.Round(time.Millisecond),
+			wk.CheckpointTime.Round(time.Millisecond), wk.RestoreTime.Round(time.Millisecond))
 	}
 }
 

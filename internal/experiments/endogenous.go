@@ -24,13 +24,8 @@ type EndogenousConfig struct {
 	Horizon time.Duration
 	Seed    int64
 
-	// Mode selects the paper supply model when Policy is empty.
-	//
-	// Deprecated: set Policy (a registry name) instead.
-	Mode core.Mode
-
 	// Policy names the pilot-supply policy in the policy registry.
-	// Empty falls back to Mode.
+	// Empty defaults to "fib".
 	Policy string
 
 	// Utilization is the target prime-load share of the cluster
@@ -84,12 +79,12 @@ type EndogenousResult struct {
 }
 
 // PolicyName resolves the effective supply-policy name: the Policy
-// field when set, else the deprecated Mode's name.
+// field when set, else the paper's fib default.
 func (cfg EndogenousConfig) PolicyName() string {
 	if cfg.Policy != "" {
 		return cfg.Policy
 	}
-	return cfg.Mode.String()
+	return "fib"
 }
 
 // RunEndogenous executes the experiment.

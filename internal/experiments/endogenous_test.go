@@ -46,9 +46,9 @@ func TestEndogenousFullScheduler(t *testing.T) {
 	}
 }
 
-func TestEndogenousVarMode(t *testing.T) {
+func TestEndogenousVarPolicy(t *testing.T) {
 	cfg := DefaultEndogenousConfig(2)
-	cfg.Mode = 1 // core.ModeVar
+	cfg.Policy = "var"
 	cfg.Horizon = 4 * time.Hour
 	cfg.Nodes = 128
 	r := RunEndogenous(cfg)

@@ -5,8 +5,6 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"repro/internal/core"
 )
 
 // weekTr is shared by the Fig 1 / Table I tests.
@@ -293,7 +291,7 @@ func TestDayWithoutLoad(t *testing.T) {
 	}
 }
 
-func TestModeMatchesSet(t *testing.T) {
+func TestPolicyMatchesSet(t *testing.T) {
 	cfg := VarDay(8)
 	cfg.Nodes = 64
 	cfg.Horizon = time.Hour
@@ -303,7 +301,7 @@ func TestModeMatchesSet(t *testing.T) {
 	if r.Sim.Set.Name != "C2" {
 		t.Errorf("var day compared against %s, want C2", r.Sim.Set.Name)
 	}
-	if r.Config.Mode != core.ModeVar {
-		t.Error("mode lost")
+	if r.Config.PolicyName() != "var" {
+		t.Error("policy lost")
 	}
 }

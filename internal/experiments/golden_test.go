@@ -11,9 +11,10 @@ import (
 // TestRunDayMatchesPreRefactorGolden pins the SupplyPolicy refactor to
 // the pre-refactor behavior: the testdata goldens were rendered by the
 // original core.Mode-enum manager (before the policy interface
-// existed), and both the Mode-based and the registry-based fib/var
-// runs must still reproduce them byte for byte. Regenerate after an
-// intentional behavior change with `go run ./internal/experiments/gengolden`.
+// existed, since removed), and the fib/var runs — default-config and
+// with the registry policy named explicitly — must still reproduce
+// them byte for byte. Regenerate after an intentional behavior change
+// with `go run ./internal/experiments/gengolden`.
 func TestRunDayMatchesPreRefactorGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale experiment (skipped under -short for the CI race gate)")
@@ -23,8 +24,8 @@ func TestRunDayMatchesPreRefactorGolden(t *testing.T) {
 		golden string
 		cfg    DayConfig
 	}{
-		{"fib-mode", "fibday_seed2.golden", FibDay(2)},
-		{"var-mode", "varday_seed2.golden", VarDay(2)},
+		{"fib-default", "fibday_seed2.golden", FibDay(2)},
+		{"var-default", "varday_seed2.golden", VarDay(2)},
 		{"fib-policy", "fibday_seed2.golden", withPolicy(FibDay(2), "fib")},
 		{"var-policy", "varday_seed2.golden", withPolicy(VarDay(2), "var")},
 		// The sharded pdes runtime must reproduce the same goldens: a

@@ -30,18 +30,37 @@ func (r DayResult) Metrics() map[string]float64 {
 	if r.Config.Streaming {
 		m["metrics-bytes"] = float64(r.MetricsBytes)
 	}
+	// Config-gated (not Work.Zero()-gated): goodput accrues on every
+	// run, but the ledger is only a headline when checkpointing is on.
+	if r.Config.CheckpointInterval > 0 {
+		m["checkpoints"] = float64(r.Work.Checkpoints)
+		m["resumed"] = float64(r.Work.Resumed)
+		m["cloud-resumes"] = float64(r.Work.CloudResumes)
+		m["goodput-share"] = r.Work.GoodputShare()
+		m["wasted-s"] = r.Work.Wasted.Seconds()
+		m["lost-work-s"] = r.Work.Lost.Seconds()
+		m["checkpoint-s"] = r.Work.CheckpointTime.Seconds()
+		m["restore-s"] = r.Work.RestoreTime.Seconds()
+	}
 	return m
 }
 
 // Metrics returns the §VII scientific-workload headline numbers.
 func (r ScientificResult) Metrics() map[string]float64 {
-	return map[string]float64{
+	m := map[string]float64{
 		"invoked-share":  r.Load.InvokedShare,
 		"success-share":  r.Load.SuccessShare,
 		"fallback-share": r.FallbackShare,
 		"pilots-started": float64(r.PilotsStarted),
 		"handoffs":       float64(r.Handoffs),
 	}
+	if r.Config.CheckpointInterval > 0 {
+		m["checkpoints"] = float64(r.Work.Checkpoints)
+		m["resumed"] = float64(r.Work.Resumed)
+		m["cloud-resumes"] = float64(r.CloudResumes)
+		m["lost-work-s"] = r.Work.Lost.Seconds()
+	}
+	return m
 }
 
 // Metrics returns the full-scheduler headline numbers.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faasload"
 	"repro/internal/lambda"
@@ -27,18 +28,22 @@ type ScientificConfig struct {
 	Functions int
 	QPS       float64
 
-	// Mode selects the paper supply model when Policy is empty.
-	//
-	// Deprecated: set Policy (a registry name) instead.
-	Mode core.Mode
-
 	// Policy names the pilot-supply policy in the policy registry.
-	// Empty falls back to Mode.
+	// Empty defaults to "fib".
 	Policy string
 
 	// UseWrapper routes calls through the Alg. 1 fallback so 503s are
 	// absorbed by the commercial cloud; false measures the raw cluster.
 	UseWrapper bool
+
+	// CheckpointInterval > 0 lifts the §VII long-function cap: every
+	// function — including the long-running ones that otherwise opt out
+	// of mid-execution interruption — checkpoints at this cadence and
+	// becomes interruptible, since a durable checkpoint makes interrupt
+	// recoverable. With UseWrapper, client timeouts that left
+	// checkpointed progress additionally resume on the commercial cloud
+	// (Wrapper.ResumeTimeouts). 0 keeps today's behavior exactly.
+	CheckpointInterval time.Duration
 }
 
 // DefaultScientificConfig returns a tractable slice of the production
@@ -56,12 +61,12 @@ func DefaultScientificConfig(seed int64) ScientificConfig {
 }
 
 // PolicyName resolves the effective supply-policy name: the Policy
-// field when set, else the deprecated Mode's name.
+// field when set, else the paper's fib default.
 func (cfg ScientificConfig) PolicyName() string {
 	if cfg.Policy != "" {
 		return cfg.Policy
 	}
-	return cfg.Mode.String()
+	return "fib"
 }
 
 // ClassStats summarizes outcomes for one function class.
@@ -95,6 +100,11 @@ type ScientificResult struct {
 
 	PilotsStarted int
 	Handoffs      int
+
+	// Work is the compute ledger; CloudResumes counts checkpointed
+	// executions the wrapper continued on the commercial cloud.
+	Work         stats.WorkCounters
+	CloudResumes int
 }
 
 // RunScientific executes the experiment.
@@ -107,9 +117,18 @@ func RunScientific(cfg ScientificConfig) ScientificResult {
 // progress.
 func RunScientificCtx(ctx context.Context, cfg ScientificConfig, progress ProgressFunc) (ScientificResult, error) {
 	day := FibDay(cfg.Seed)
-	day.Mode = cfg.Mode
-	day.Policy = cfg.Policy
+	day.Policy = cfg.PolicyName()
 	wl := faasload.DefaultSpec(cfg.Functions, cfg.Seed+1).Build()
+	// The model attaches unconditionally (disabled at interval 0 — no
+	// draws, no behavior change); enabling it also lifts the long-class
+	// interruption opt-out, the cap checkpointing exists to remove.
+	ckpt := checkpoint.WithInterval(cfg.CheckpointInterval)
+	for _, f := range wl.Functions {
+		f.Action.Checkpoint = ckpt
+		if cfg.CheckpointInterval > 0 {
+			f.Action.Interruptible = true
+		}
+	}
 
 	sysCfg := core.DefaultSystemConfig(cfg.Nodes, cfg.PolicyName())
 	sysCfg.Seed = cfg.Seed + 2
@@ -139,7 +158,9 @@ func RunScientificCtx(ctx context.Context, cfg ScientificConfig, progress Progre
 		for _, f := range wl.Functions {
 			fb.RegisterAction(f.Action.Name, f.Action.Exec)
 		}
-		backend = core.NewWrapper(sys.Sim, sys.Ctrl, fb)
+		wr := core.NewWrapper(sys.Sim, sys.Ctrl, fb)
+		wr.ResumeTimeouts = cfg.CheckpointInterval > 0
+		backend = wr
 	} else {
 		backend = loadgen.ForController(sys.Ctrl)
 	}
@@ -181,6 +202,7 @@ func RunScientificCtx(ctx context.Context, cfg ScientificConfig, progress Progre
 		ByClass:       map[faasload.Class]ClassStats{},
 		PilotsStarted: sys.Manager.PilotsStarted,
 		Handoffs:      sys.Manager.Handoffs,
+		Work:          sys.Ctrl.Work,
 	}
 	for class, a := range byClass {
 		res.ByClass[class] = a.stats()
@@ -189,6 +211,7 @@ func RunScientificCtx(ctx context.Context, cfg ScientificConfig, progress Progre
 		if calls := w.PrimaryCalls + w.FallbackCalls; calls > 0 {
 			res.FallbackShare = float64(w.FallbackCalls) / float64(calls)
 		}
+		res.CloudResumes = w.CloudResumes
 	}
 	return res, nil
 }
@@ -262,4 +285,10 @@ func (r ScientificResult) Render(w io.Writer) {
 		fmt.Fprintf(w, "  commercial fallback served %.1f%% of calls\n", 100*r.FallbackShare)
 	}
 	fmt.Fprintf(w, "  pilots=%d handoffs=%d\n", r.PilotsStarted, r.Handoffs)
+	// Config-gated so checkpoint-free renders are unchanged.
+	if r.Config.CheckpointInterval > 0 {
+		fmt.Fprintf(w, "  checkpointing (%v interval): %d dumps, %d resumes (%d cloud); wasted %v, lost %v\n",
+			r.Config.CheckpointInterval, r.Work.Checkpoints, r.Work.Resumed, r.CloudResumes,
+			r.Work.Wasted.Round(time.Millisecond), r.Work.Lost.Round(time.Millisecond))
+	}
 }

@@ -6,6 +6,7 @@ package lambda
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -50,6 +51,14 @@ type ClientConfig struct {
 	ColdProb        float64   // probability a call hits a cold slot
 	FailureProb     float64
 	DefaultExecTime time.Duration // for actions without a registered model
+
+	// Resume path (InvokeResume): the checkpoint state of a stranded
+	// cluster execution is uploaded at ResumeBandwidthMBps, then the
+	// process reconstructs in ResumeOverhead seconds before the
+	// remaining body runs. Only drawn when a resume is invoked, so
+	// deployments without checkpointing keep their draw sequence.
+	ResumeBandwidthMBps dist.Dist
+	ResumeOverhead      dist.Dist
 }
 
 // DefaultClientConfig returns a Lambda-like client model: sub-100 ms
@@ -62,6 +71,11 @@ func DefaultClientConfig() ClientConfig {
 		ColdProb:        0.02,
 		FailureProb:     0.001,
 		DefaultExecTime: 10 * time.Millisecond,
+		// Cross-site upload is slower than the cluster-internal restore
+		// path: the calibrated RestoreBandwidthMBps halved (lognormal
+		// median 350→175 MB/s, same spread, clamps scaled to match).
+		ResumeBandwidthMBps: dist.Clamped{D: dist.Lognormal{Mu: math.Log(175), Sigma: 0.4}, Min: 40, Max: 600},
+		ResumeOverhead:      dist.RestoreOverheadSeconds(),
 	}
 }
 
@@ -78,6 +92,7 @@ type Client struct {
 	// Counters.
 	Calls     int
 	ColdCalls int
+	Resumes   int // checkpointed executions continued here (InvokeResume)
 }
 
 // NewClient builds the commercial-cloud backend.
@@ -114,6 +129,47 @@ func (c *Client) Invoke(action string, done func(*whisk.Invocation)) *whisk.Invo
 		inv.ColdStart = true
 		c.ColdCalls++
 	}
+	status := whisk.StatusSuccess
+	if c.rng.Float64() < c.cfg.FailureProb {
+		status = whisk.StatusFailed
+	}
+	c.sim.After(total, func() {
+		inv.Completed = c.sim.Now()
+		inv.Status = status
+		if done != nil {
+			done(inv)
+		}
+	})
+	return inv
+}
+
+// InvokeResume continues a checkpointed execution stranded on the
+// cluster (core.ResumeBackend): the last checkpoint's stateMB uploads
+// at the configured bandwidth, the process reconstructs, and only the
+// remaining body runs — speed-scaled like every execution here. The
+// resume slot is always cold (the cloud never saw this function's
+// state before).
+func (c *Client) InvokeResume(action string, remaining time.Duration, stateMB float64, done func(*whisk.Invocation)) *whisk.Invocation {
+	c.Calls++
+	c.Resumes++
+	inv := &whisk.Invocation{
+		ID:        c.nextID,
+		Submitted: c.sim.Now(),
+		InvokerID: -1,
+		ColdStart: true,
+		StateMB:   stateMB,
+		Resumes:   1,
+	}
+	c.nextID++
+	exec := time.Duration(float64(remaining) / SpeedFactor(c.cfg.MemoryMB))
+	var transfer time.Duration
+	if bw := c.cfg.ResumeBandwidthMBps.Sample(c.rng); bw > 0 && stateMB > 0 {
+		transfer = time.Duration(stateMB / bw * float64(time.Second))
+	}
+	total := dist.Seconds(c.cfg.WarmOverhead, c.rng) +
+		dist.Seconds(c.cfg.ColdStart, c.rng) +
+		transfer + dist.Seconds(c.cfg.ResumeOverhead, c.rng) + exec
+	c.ColdCalls++
 	status := whisk.StatusSuccess
 	if c.rng.Float64() < c.cfg.FailureProb {
 		status = whisk.StatusFailed

@@ -218,24 +218,61 @@ func init() {
 	Register(Spec{
 		Name:        "ablation",
 		Artifact:    "§III-C ablation",
-		Description: "hand-off design points (full protocol / no interrupt / hard kill) on one day",
+		Description: "hand-off design points (full protocol / no interrupt / hard kill, optionally + checkpointing) on one day",
 		Axes:        []string{"nodes", "horizon", "policy"},
 		Options: []OptionDoc{
 			{Name: "streaming", Kind: KindBool, Default: "false", Help: "O(1)-memory streaming metrics (t-digest quantiles, windowed series)"},
+			{Name: "checkpoint", Kind: KindBool, Default: "false", Help: "add the handoff+interrupt+checkpoint design point"},
+			{Name: "checkpoint-interval", Kind: KindDuration, Default: "100ms", Help: "checkpoint cadence of the checkpoint arm"},
 		},
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			a := experiments.AblationConfig{
-				Nodes:     cfg.Nodes(256),
-				Horizon:   cfg.Horizon(4 * time.Hour),
-				Seed:      cfg.Seed(),
-				Policy:    cfg.Policy(""),
-				Streaming: cfg.Bool("streaming", false),
+				Nodes:              cfg.Nodes(256),
+				Horizon:            cfg.Horizon(4 * time.Hour),
+				Seed:               cfg.Seed(),
+				Policy:             cfg.Policy(""),
+				Streaming:          cfg.Bool("streaming", false),
+				Checkpoint:         cfg.Bool("checkpoint", false),
+				CheckpointInterval: cfg.Duration("checkpoint-interval", 0),
 			}
 			r, err := experiments.RunAblationCtx(ctx, a, cfg.Progress())
 			if err != nil {
 				return nil, err
 			}
 			return NewResult(r, r.Metrics(), ablationTable(r)), nil
+		},
+	})
+
+	Register(Spec{
+		Name:        "checkpoint-frontier",
+		Artifact:    "beyond the paper",
+		Description: "checkpoint/restore frontier: function duration × idle-window sweep, every cell run with and without checkpointing on identical seeds",
+		Axes:        []string{"nodes", "horizon", "qps"},
+		Options: []OptionDoc{
+			{Name: "durations", Kind: KindString, Default: "1m,3m,6m", Help: "comma-separated function body durations (the D axis)"},
+			{Name: "windows", Kind: KindString, Default: "4m,8m,16m", Help: "comma-separated idle-window lengths of the periodic trace (the W axis)"},
+			{Name: "gap", Kind: KindDuration, Default: "2m", Help: "full-cluster saturation between consecutive idle windows"},
+			{Name: "checkpoint-interval", Kind: KindDuration, Default: "20s", Help: "checkpoint cadence of the checkpointed arm"},
+		},
+		Run: func(ctx context.Context, cfg Config) (Result, error) {
+			fr := experiments.DefaultFrontierConfig(cfg.Seed())
+			fr.Nodes = cfg.Nodes(fr.Nodes)
+			fr.Horizon = cfg.Horizon(fr.Horizon)
+			fr.QPS = cfg.QPS(fr.QPS)
+			fr.Gap = cfg.Duration("gap", fr.Gap)
+			fr.CheckpointInterval = cfg.Duration("checkpoint-interval", fr.CheckpointInterval)
+			var err error
+			if fr.Durations, err = durationList(cfg.String("durations", ""), fr.Durations); err != nil {
+				return nil, fmt.Errorf("scenario: checkpoint-frontier durations: %w", err)
+			}
+			if fr.Windows, err = durationList(cfg.String("windows", ""), fr.Windows); err != nil {
+				return nil, fmt.Errorf("scenario: checkpoint-frontier windows: %w", err)
+			}
+			r, err := experiments.RunFrontierCtx(ctx, fr, cfg.Progress())
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(r, r.Metrics(), frontierTable(r)), nil
 		},
 	})
 
@@ -280,6 +317,7 @@ func init() {
 		Options: []OptionDoc{
 			{Name: "functions", Kind: KindInt, Default: "200", Help: "size of the heterogeneous function population"},
 			{Name: "use-wrapper", Kind: KindBool, Default: "true", Help: "route calls through the Alg. 1 fallback"},
+			{Name: "checkpoint-interval", Kind: KindDuration, Default: "0", Help: "checkpoint cadence; > 0 makes long functions interruptible and resumes timed-out progress on the cloud (0: disabled)"},
 		},
 		Run: func(ctx context.Context, cfg Config) (Result, error) {
 			sc := experiments.DefaultScientificConfig(cfg.Seed())
@@ -288,6 +326,7 @@ func init() {
 			sc.QPS = cfg.QPS(sc.QPS)
 			sc.Functions = cfg.Int("functions", sc.Functions)
 			sc.UseWrapper = cfg.Bool("use-wrapper", sc.UseWrapper)
+			sc.CheckpointInterval = cfg.Duration("checkpoint-interval", 0)
 			sc.Policy = cfg.Policy(sc.PolicyName())
 			if _, err := policy.New(sc.Policy); err != nil {
 				return nil, err
@@ -343,6 +382,8 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			{Name: "sleep-exec", Kind: KindDuration, Default: "10ms", Help: "in-container execution time per call"},
 			{Name: "graceful-handoff", Kind: KindBool, Default: "true", Help: "enable the §III-C hand-off protocol"},
 			{Name: "interrupt-running", Kind: KindBool, Default: "true", Help: "interrupt mid-execution activations on reclaim"},
+			{Name: "checkpoint-interval", Kind: KindDuration, Default: "0", Help: "checkpoint cadence for executions (0: checkpointing disabled, byte-identical to the goldens)"},
+			{Name: "action-timeout", Kind: KindDuration, Default: "0", Help: "client-visible action timeout override (0: the controller default, 60s)"},
 			{Name: "streaming", Kind: KindBool, Default: "false", Help: "O(1)-memory streaming metrics (t-digest quantiles, windowed series)"},
 			{Name: "shards", Kind: KindInt, Default: "1", Help: "run under the sharded pdes coordinator (>1; byte-identical to sequential)"},
 		},
@@ -361,6 +402,8 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			day.SleepExec = cfg.Duration("sleep-exec", day.SleepExec)
 			day.GracefulHandoff = cfg.Bool("graceful-handoff", day.GracefulHandoff)
 			day.InterruptRunning = cfg.Bool("interrupt-running", day.InterruptRunning)
+			day.CheckpointInterval = cfg.Duration("checkpoint-interval", 0)
+			day.ActionTimeout = cfg.Duration("action-timeout", 0)
 			day.Streaming = cfg.Bool("streaming", false)
 			day.Shards = cfg.Int("shards", day.Shards)
 			r, err := experiments.RunDayCtx(ctx, day, cfg.Progress())
@@ -370,6 +413,26 @@ func dayScenario(name, artifact, desc string, base func(int64) experiments.DayCo
 			return NewResult(r, r.Metrics(), dayTable(r)), nil
 		},
 	}
+}
+
+// durationList parses a comma-separated duration list, returning def
+// when the string is empty.
+func durationList(s string, def []time.Duration) ([]time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []time.Duration
+	for _, part := range splitList(s) {
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("non-positive duration %v", d)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {
@@ -435,6 +498,18 @@ func ablationTable(r experiments.AblationResult) [][]string {
 		rows = append(rows, []string{
 			row.Variant.Name, pct(row.LostShare), pct(row.Load.SuccessShare),
 			strconv.Itoa(row.Handoffs), strconv.Itoa(row.Preempted),
+		})
+	}
+	return rows
+}
+
+func frontierTable(r experiments.FrontierResult) [][]string {
+	rows := [][]string{{"duration", "window", "ckpt-success", "base-success", "resumed", "reclaimed"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Duration.String(), c.Window.String(),
+			pct(c.CheckpointShare), pct(c.BaselineShare),
+			strconv.Itoa(c.Work.Resumed), strconv.FormatBool(c.Reclaimed()),
 		})
 	}
 	return rows

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/des"
 	"repro/internal/dist"
 )
@@ -40,6 +41,14 @@ type Action struct {
 	// (§III-C lets clients opt out for functions with non-atomic
 	// external side effects).
 	Interruptible bool
+
+	// Checkpoint attaches a checkpoint/restore model: executions of an
+	// interruptible action periodically dump their state, and an
+	// interrupted execution re-queues as a resume token that continues
+	// from the last checkpoint on another invoker (or the cloud
+	// fallback) instead of restarting. nil — or a model whose Enabled
+	// is false — leaves the execution path exactly as it was.
+	Checkpoint *checkpoint.Model
 }
 
 func (a *Action) hash() uint32 {
@@ -105,6 +114,15 @@ type Invocation struct {
 	Requeues  int // fast-lane hops before execution
 	InvokerID int // slot of the executing invoker, -1 if none
 
+	// Resume-token state of the checkpoint subsystem. Progress is the
+	// execution-body time durably checkpointed so far; StateMB is the
+	// serialized size of the last checkpoint (what a resume transfers);
+	// Resumes counts restore-and-continue attempts. All three stay zero
+	// on actions without an enabled checkpoint model.
+	Progress time.Duration
+	StateMB  float64
+	Resumes  int
+
 	done      func(*Invocation)
 	timeoutEv des.Event
 	execEv    des.Event // completion event while executing (for interrupts)
@@ -119,6 +137,15 @@ type Invocation struct {
 	execOK      bool
 	execStartAt des.Time
 
+	// Checkpointed-execution state. bodyTotal is the execution-body
+	// duration drawn once on the first attempt (a resume continues the
+	// same body instead of redrawing); segWork is the work scheduled in
+	// the in-flight segment; segStartAt is when that segment's body
+	// work began (after start-up, restore, or dump pause).
+	bodyTotal  time.Duration
+	segWork    time.Duration
+	segStartAt des.Time
+
 	refs   int32  // live references; 0 = recyclable
 	gen    uint32 // increments on every recycle
 	pooled bool   // sitting in the controller free list
@@ -128,6 +155,17 @@ type Invocation struct {
 // recycled, letting holders of a retained pointer detect reuse under
 // pooling.
 func (inv *Invocation) Generation() uint32 { return inv.gen }
+
+// Remaining returns the execution-body time still owed beyond the last
+// checkpoint, or 0 when no checkpointed attempt has started. The
+// Alg. 1 wrapper uses it to resume a stranded execution on the cloud
+// fallback.
+func (inv *Invocation) Remaining() time.Duration {
+	if inv.bodyTotal <= inv.Progress {
+		return 0
+	}
+	return inv.bodyTotal - inv.Progress
+}
 
 // Latency returns the client-observed response time.
 func (inv *Invocation) Latency() time.Duration { return inv.Completed - inv.Submitted }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/des"
 	"repro/internal/dist"
+	"repro/internal/stats"
 )
 
 // ControllerConfig models the request path of the OpenWhisk controller.
@@ -114,6 +115,14 @@ type Controller struct {
 	Registers int
 	Removes   int
 	MovedToFL int
+
+	// Work is the checkpoint subsystem's compute-accounting ledger,
+	// written by this controller's invokers (goodput on completion,
+	// wasted/lost on interrupts and kills, checkpoint and restore
+	// overheads as they are paid). Site-local by construction — no
+	// cross-site writes — so sharded pdes runs need no synchronization
+	// and stay byte-identical.
+	Work stats.WorkCounters
 }
 
 // NewController builds a controller over the given bus.

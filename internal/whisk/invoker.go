@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bus"
+	"repro/internal/checkpoint"
 	"repro/internal/des"
 	"repro/internal/dist"
 )
@@ -96,6 +97,13 @@ type Invoker struct {
 	cold, warm dist.Sampler // container start latencies over rng
 
 	execDoneFn func(any) // cached method value for execution completion
+	ckptDoneFn func(any) // cached method value for checkpoint-segment boundaries
+
+	// ckptRng is the checkpoint subsystem's private stream, forked off
+	// rng lazily by checkpointRng the first time a checkpointed
+	// execution dispatches — so deployments without checkpointing draw
+	// the exact sequence they always did.
+	ckptRng *rand.Rand
 
 	ctrl  *Controller
 	slot  int
@@ -117,12 +125,14 @@ type Invoker struct {
 	onDrained func()
 
 	// Counters.
-	Executed   int
-	Failed     int
-	ColdStarts int
-	WarmStarts int
-	Rejected   int
-	Requeued   int
+	Executed    int
+	Failed      int
+	ColdStarts  int
+	WarmStarts  int
+	Rejected    int
+	Requeued    int
+	Checkpoints int // completed checkpoint dumps
+	Resumed     int // executions restored from a checkpoint here
 }
 
 type containerSet struct {
@@ -148,6 +158,7 @@ func NewInvoker(cfg InvokerConfig, seed int64) *Invoker {
 	w.cold = dist.NewSampler(cfg.ColdStartSeconds, w.rng)
 	w.warm = dist.NewSampler(cfg.WarmStartSeconds, w.rng)
 	w.execDoneFn = w.execDone
+	w.ckptDoneFn = w.ckptDone
 	return w
 }
 
@@ -245,6 +256,10 @@ func (w *Invoker) execute(inv *Invocation) {
 	start := w.acquireContainer(inv)
 	inv.ColdStart = inv.ColdStart || start.cold
 
+	if m := inv.Action.Checkpoint; m.Enabled() && inv.Action.Interruptible {
+		w.executeCheckpointed(inv, m, start)
+		return
+	}
 	body := inv.Action.Exec(w.rng)
 	total := start.delay + body
 	inv.execStartAt = sim.Now() + start.delay // execution body begins after startup
@@ -252,9 +267,105 @@ func (w *Invoker) execute(inv *Invocation) {
 	inv.execEv = sim.AfterCall(total, w.execDoneFn, inv)
 }
 
-// execDone is the typed-arg completion callback of every execution.
+// checkpointRng lazily forks the checkpoint subsystem's private stream
+// off the invoker's main stream. The fork consumes exactly one parent
+// draw and happens only when a checkpointed execution first
+// dispatches, so configurations without checkpointing keep their draw
+// sequence — and the committed goldens — byte-identical.
+func (w *Invoker) checkpointRng() *rand.Rand {
+	if w.ckptRng == nil {
+		w.ckptRng = dist.Split(w.rng)
+	}
+	return w.ckptRng
+}
+
+// executeCheckpointed runs one attempt of a checkpointed execution as
+// a chain of segment events: each segment is min(interval, remaining)
+// of body work, followed by a dump pause at ckptDone until the body
+// completes. A resume (Progress > 0) first pays the state-transfer +
+// restore cost for the last checkpoint.
+func (w *Invoker) executeCheckpointed(inv *Invocation, m *checkpoint.Model, start containerStart) {
+	sim := w.ctrl.sim
+	rng := w.checkpointRng()
+	if inv.bodyTotal == 0 {
+		// First attempt: draw the body once (off the main stream, like
+		// every execution) and remember it — a resume continues this
+		// body instead of redrawing it.
+		inv.bodyTotal = inv.Action.Exec(w.rng)
+	}
+	pre := start.delay
+	if inv.Progress > 0 {
+		restore := m.RestoreTime(inv.StateMB, rng)
+		pre += restore
+		inv.Resumes++
+		w.Resumed++
+		w.ctrl.Work.Resumed++
+		w.ctrl.Work.RestoreTime += restore
+	}
+	remaining := inv.bodyTotal - inv.Progress
+	seg := m.NextInterval(rng)
+	if seg > remaining {
+		seg = remaining
+	}
+	inv.segWork = seg
+	inv.execStartAt = sim.Now() + pre
+	inv.segStartAt = inv.execStartAt
+	w.ctrl.retain(inv) // the in-flight segment event
+	inv.execEv = sim.AfterCall(pre+seg, w.ckptDoneFn, inv)
+}
+
+// ckptDone fires at every segment boundary of a checkpointed
+// execution: either the body is complete (mirroring execDone), or a
+// checkpoint is dumped and the next segment is scheduled — the
+// boundary event's reference carries over to the next segment, so the
+// refcount discipline matches a plain execution's single completion
+// event.
+func (w *Invoker) ckptDone(v any) {
+	inv := v.(*Invocation)
+	inv.Progress += inv.segWork
+	if inv.Progress >= inv.bodyTotal {
+		w.ctrl.Work.Goodput += inv.bodyTotal
+		inv.Executed = inv.execStartAt
+		w.removeRunning(inv)
+		w.ctrl.release(inv) // the running list's reference
+		w.releaseContainer(inv.Action)
+		ok := w.rng.Float64() >= w.cfg.FailureProb
+		if ok {
+			w.Executed++
+		} else {
+			w.Failed++
+		}
+		w.ctrl.finishFromInvoker(inv, ok)
+		w.ctrl.release(inv) // the segment event's reference
+		if w.state == InvokerHealthy {
+			w.dispatch()
+		} else {
+			w.maybeDrained()
+		}
+		return
+	}
+	m := inv.Action.Checkpoint
+	rng := w.checkpointRng()
+	cost := m.CostTime(rng)
+	inv.StateMB = m.StateSizeMB(rng)
+	w.Checkpoints++
+	w.ctrl.Work.Checkpoints++
+	w.ctrl.Work.CheckpointTime += cost
+	remaining := inv.bodyTotal - inv.Progress
+	seg := m.NextInterval(rng)
+	if seg > remaining {
+		seg = remaining
+	}
+	inv.segWork = seg
+	inv.segStartAt = w.ctrl.sim.Now() + cost
+	inv.execEv = w.ctrl.sim.AfterCall(cost+seg, w.ckptDoneFn, inv)
+}
+
+// execDone is the typed-arg completion callback of every
+// non-checkpointed execution.
 func (w *Invoker) execDone(v any) {
 	inv := v.(*Invocation)
+	w.ctrl.Work.Goodput += w.ctrl.sim.Now() - inv.execStartAt
 	inv.Executed = inv.execStartAt
 	w.removeRunning(inv)
 	w.ctrl.release(inv) // the running list's reference
@@ -378,6 +489,7 @@ func (w *Invoker) Sigterm(interruptRunning bool, onDrained func()) {
 			if inv.execEv.Stop() {
 				w.ctrl.release(inv) // the canceled completion event
 			}
+			w.accountInterrupt(inv)
 			w.removeRunning(inv)
 			w.releaseContainer(inv.Action)
 			inv.Requeues++
@@ -390,6 +502,9 @@ func (w *Invoker) Sigterm(interruptRunning bool, onDrained func()) {
 			// dead message still travels the fast lane exactly as it
 			// always did (occupying pull quota until dispatch skips it),
 			// and its consumer's release recycles the invocation then.
+			// For a checkpointed execution the requeued invocation IS the
+			// resume token — Progress/StateMB ride along, and the next
+			// invoker's execute restores from the last checkpoint.
 			w.ctrl.retain(inv)
 			w.ctrl.release(inv) // the running list's reference
 			w.oneMsg[0] = w.ctrl.b.Wrap(inv)
@@ -398,6 +513,55 @@ func (w *Invoker) Sigterm(interruptRunning bool, onDrained func()) {
 		}
 	}
 	w.maybeDrained()
+}
+
+// accountInterrupt books the execution-body time an interrupt throws
+// away. A checkpointed execution loses only the work since its last
+// checkpoint (Wasted — the rest survives in the resume token); an
+// execution without checkpoints loses all elapsed progress (Lost —
+// the requeued attempt restarts from scratch). Pure accounting: no
+// draws, no events, so golden-pinned runs are unaffected.
+func (w *Invoker) accountInterrupt(inv *Invocation) {
+	now := w.ctrl.sim.Now()
+	if inv.Action.Checkpoint.Enabled() {
+		done := now - inv.segStartAt
+		if done < 0 {
+			done = 0 // still in start-up, restore, or a dump pause
+		}
+		if done > inv.segWork {
+			done = inv.segWork
+		}
+		w.ctrl.Work.Wasted += done
+		return
+	}
+	done := now - inv.execStartAt
+	if done < 0 {
+		done = 0
+	}
+	w.ctrl.Work.Lost += done
+}
+
+// accountKill books the execution-body time a hard kill destroys:
+// everything, checkpointed or not — nothing is handed off. (A
+// checkpointed invocation keeps its Progress, so a client-side
+// wrapper may still resume it on the cloud fallback after the
+// timeout; the pilot-side ledger writes the on-cluster work off.)
+func (w *Invoker) accountKill(inv *Invocation) {
+	now := w.ctrl.sim.Now()
+	lost := inv.Progress
+	var done time.Duration
+	if inv.Action.Checkpoint.Enabled() && inv.Action.Interruptible {
+		done = now - inv.segStartAt
+		if done > inv.segWork {
+			done = inv.segWork
+		}
+	} else {
+		done = now - inv.execStartAt
+	}
+	if done > 0 {
+		lost += done
+	}
+	w.ctrl.Work.Lost += lost
 }
 
 func (w *Invoker) maybeDrained() {
@@ -434,6 +598,7 @@ func (w *Invoker) Kill() {
 		if inv.execEv.Stop() {
 			w.ctrl.release(inv) // the canceled completion event
 		}
+		w.accountKill(inv)
 		w.ctrl.release(inv) // the running list's reference
 	}
 	w.running = nil
