@@ -15,6 +15,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/router"
 	"repro/internal/stats"
 	"repro/internal/whisk"
 	"repro/internal/workload"
@@ -368,4 +369,106 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		workload.DefaultIdleProcess(2239, 24*time.Hour, int64(i)).Generate()
 	}
+}
+
+// benchSite adapts a whisk.Controller to router.Site for the
+// signal-path benchmark below (core.Site carries a full deployment;
+// here only the controller's telemetry is under test).
+type benchSite struct{ c *whisk.Controller }
+
+func (s benchSite) Invoke(action string, done func(*whisk.Invocation)) { s.c.Invoke(action, done) }
+func (s benchSite) HealthyInvokers() int                               { return s.c.HealthyCount() }
+func (s benchSite) Utilization() float64                               { return s.c.Utilization() }
+func (s benchSite) QueueDepth() int                                    { return s.c.QueueDepth() }
+func (s benchSite) FastLaneDepth() int                                 { return s.c.FastLaneDepth() }
+func (s benchSite) DrainingInvokers() int                              { return s.c.DrainingCount() }
+
+var bigClusterActions = [8]string{"bc-0", "bc-1", "bc-2", "bc-3", "bc-4", "bc-5", "bc-6", "bc-7"}
+
+// bigClusterRefreshEvery is the snapshot cadence of the measured loop:
+// one front-door Refresh per 64 routing decisions, a busier grid than
+// the 1 s default at 1000 QPS so the refresh term is well represented
+// in the per-request cost.
+const bigClusterRefreshEvery = 64
+
+// bigClusterSink defeats dead-code elimination of the pick loops.
+var bigClusterSink int
+
+// routingFederation builds a 4-site federation with the given total
+// invoker count registered and snapshot routing enabled — the
+// control-plane state of a big federated run, without its traffic.
+func routingFederation(invokers int) *router.FrontDoor {
+	const nSites = 4
+	sites := make([]router.Site, nSites)
+	for s := range sites {
+		sim := des.New()
+		mb := bus.New(sim, nil, int64(s+1))
+		ctrl := whisk.NewController(sim, mb, whisk.DefaultControllerConfig(), int64(s+100))
+		for i := 0; i < invokers/nSites; i++ {
+			ctrl.Register(whisk.NewInvoker(whisk.DefaultInvokerConfig(), int64(i+1)))
+		}
+		sites[s] = benchSite{ctrl}
+	}
+	fd := router.NewFrontDoor(sites, router.MustNew("capacity-weighted"))
+	fd.EnableSnapshots()
+	return fd
+}
+
+// measureRoutingNs times the steady-state control-plane cost of one
+// routed request — the periodic snapshot Refresh amortized over the
+// routing decisions between refreshes, plus the policy Pick itself —
+// and returns ns per request (best of three rounds, so a CI
+// scheduling hiccup in one round cannot skew the scaling ratio).
+func measureRoutingNs(fd *router.FrontDoor) float64 {
+	const picks = 1 << 18
+	pol := fd.Policy()
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for i := 0; i < picks; i++ {
+			if i%bigClusterRefreshEvery == 0 {
+				fd.Refresh()
+			}
+			a := bigClusterActions[i&7]
+			bigClusterSink += pol.Pick(fd, a, fd.Home(a))
+		}
+		if ns := float64(time.Since(start)) / picks; best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// BenchmarkBigClusterRouting pins the tentpole claim of the O(1)
+// control-plane telemetry: the per-request routing cost of a
+// federation is flat in cluster size. It measures the snapshot-refresh
+// + pick loop over 4 sites at two scales — 1k and 16k total invokers —
+// and fails if 16k costs more than 1.5× the 1k value (the pre-O(1)
+// scans fail this by construction: their Refresh walked every invoker
+// of every site). The reported ratio is gated against BENCH_ci.json,
+// and the b.N loop keeps the 16k pick path under the allocation
+// ratchet.
+func BenchmarkBigClusterRouting(b *testing.B) {
+	b.ReportAllocs()
+	fd16k := routingFederation(16384)
+	pol := fd16k.Policy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%bigClusterRefreshEvery == 0 {
+			fd16k.Refresh()
+		}
+		a := bigClusterActions[i&7]
+		bigClusterSink += pol.Pick(fd16k, a, fd16k.Home(a))
+	}
+	b.StopTimer()
+	ns16k := measureRoutingNs(fd16k)
+	ns1k := measureRoutingNs(routingFederation(1024))
+	ratio := ns16k / ns1k
+	if ratio > 1.5 {
+		b.Fatalf("per-request routing cost not flat: 16k invokers %.1f ns vs 1k invokers %.1f ns (ratio %.2f > 1.5)",
+			ns16k, ns1k, ratio)
+	}
+	b.ReportMetric(ns1k, "ns-per-pick-1k")
+	b.ReportMetric(ns16k, "ns-per-pick-16k")
+	b.ReportMetric(ratio, "ratio-16k-vs-1k")
 }

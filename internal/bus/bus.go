@@ -166,6 +166,7 @@ func (b *Bus) deliver(v any) {
 	}
 	m.Delivered = b.sim.Now()
 	t.queue = append(t.queue, m)
+	t.noteDepth(1)
 	t.Delivered++
 	if t.onDelivery != nil {
 		t.onDelivery()
@@ -189,6 +190,13 @@ type Topic struct {
 	queue   []*Message
 	deleted bool
 
+	// watch, when non-nil, is an external backlog counter this topic
+	// keeps in sync: every queue mutation adds its length delta. The
+	// whisk controller watches the topics of currently registered
+	// invokers so its QueueDepth signal is a field read instead of a
+	// per-call scan over every topic.
+	watch *int
+
 	onDelivery func()
 
 	// Counters.
@@ -201,6 +209,39 @@ func (t *Topic) Name() string { return t.name }
 
 // Len returns the number of pullable messages.
 func (t *Topic) Len() int { return len(t.queue) }
+
+// Watch registers counter as this topic's live backlog aggregate: the
+// current queue length is added now, and every future queue mutation
+// (delivery, pull, move, requeue) applies its delta, so *counter always
+// equals the sum of the watched topics' lengths plus whatever else the
+// owner adds to it. One watcher per topic; watching an already-watched
+// topic panics (a programming error — the controller owns its topics).
+func (t *Topic) Watch(counter *int) {
+	if t.watch != nil {
+		panic("bus: topic " + t.name + " already watched")
+	}
+	t.watch = counter
+	*counter += len(t.queue)
+}
+
+// Unwatch detaches the backlog counter, subtracting the current queue
+// length so the aggregate no longer accounts for this topic. A no-op on
+// an unwatched topic.
+func (t *Topic) Unwatch() {
+	if t.watch == nil {
+		return
+	}
+	*t.watch -= len(t.queue)
+	t.watch = nil
+}
+
+// noteDepth applies a queue-length delta to the watcher, if any. Every
+// mutation of t.queue must route its delta through here.
+func (t *Topic) noteDepth(delta int) {
+	if t.watch != nil {
+		*t.watch += delta
+	}
+}
 
 // OnDelivery registers a single callback invoked after each delivery
 // (used by invokers to wake their dispatch loop promptly).
@@ -236,6 +277,7 @@ func (t *Topic) PullAppend(dst []*Message, max int) []*Message {
 		t.queue[i] = nil
 	}
 	t.queue = t.queue[:len(t.queue)-n]
+	t.noteDepth(-n)
 	t.Pulled += n
 	return dst
 }
@@ -251,6 +293,8 @@ func (t *Topic) MoveAll(to *Topic) int {
 		to.queue = append(to.queue, m)
 	}
 	t.queue = t.queue[:0]
+	t.noteDepth(-n)
+	to.noteDepth(n)
 	t.bus.Moved += n
 	if n > 0 && to.onDelivery != nil {
 		to.onDelivery()
@@ -267,6 +311,7 @@ func (t *Topic) Requeue(msgs []*Message) {
 		m.topic = t
 		t.queue = append(t.queue, m)
 	}
+	t.noteDepth(len(msgs))
 	if len(msgs) > 0 && t.onDelivery != nil {
 		t.onDelivery()
 	}

@@ -39,13 +39,15 @@ func (p *Fib) Name() string { return "fib" }
 func (p *Fib) Init(*rand.Rand) {}
 
 // Replenish tops the queue up to Depth jobs of each length, creating
-// new jobs only to replace ones that started (§III-D).
+// new jobs only to replace ones that started (§III-D). The by-limit
+// histogram is a live view (see Env.QueuedFixedByLimit): each
+// SubmitFixed raises the count it is topping up, so the loop reads it
+// directly instead of tallying submissions on the side.
 func (p *Fib) Replenish(env Env) {
 	byLimit := env.QueuedFixedByLimit()
 	for _, l := range p.cfg.Lengths {
 		for byLimit[l] < p.cfg.Depth {
 			env.SubmitFixed(l, int64(l/time.Minute))
-			byLimit[l]++
 		}
 	}
 }

@@ -94,7 +94,11 @@ type Env interface {
 	QueuedPilots() int
 
 	// QueuedFixedByLimit counts the pending fixed-length pilots per
-	// time limit.
+	// time limit. The map is a live read-only view of the scheduler's
+	// maintained histogram (O(1), allocation-free): callers must not
+	// mutate it, and submissions made through this Env update it
+	// immediately — a replenish loop that submits until a count reaches
+	// its target can read the view directly.
 	QueuedFixedByLimit() map[time.Duration]int
 
 	// QueuedFlexible is the number of pending flexible pilots.

@@ -38,11 +38,9 @@ func (e *fakeEnv) queuedFixed() int {
 	return n
 }
 func (e *fakeEnv) QueuedFixedByLimit() map[time.Duration]int {
-	out := map[time.Duration]int{}
-	for l, c := range e.fixed {
-		out[l] = c
-	}
-	return out
+	// Live view, per the Env contract: SubmitFixed mutates e.fixed, so
+	// the map a policy holds updates as it submits.
+	return e.fixed
 }
 func (e *fakeEnv) QueuedFlexible() int         { return e.flexible }
 func (e *fakeEnv) RunningPilots() int          { return e.running }

@@ -1,0 +1,127 @@
+package slurm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// checkQueueAggregates cross-checks the maintained pilot-queue
+// aggregates (and the pass-cost formula built on them) against the
+// full-walk oracle.
+func checkQueueAggregates(t *testing.T, e *Emulator, op int) {
+	t.Helper()
+	fixed, variable, byLimit := e.recomputeQueueAggregates()
+	if e.nFixed != fixed || e.nVariable != variable {
+		t.Fatalf("op %d: counts diverged: live fixed=%d var=%d, scan fixed=%d var=%d",
+			op, e.nFixed, e.nVariable, fixed, variable)
+	}
+	if len(e.byLimit) != len(byLimit) {
+		t.Fatalf("op %d: histogram key sets diverged: live %v, scan %v", op, e.byLimit, byLimit)
+	}
+	for l, n := range byLimit {
+		if e.byLimit[l] != n {
+			t.Fatalf("op %d: histogram[%v] = %d, scan wants %d", op, l, e.byLimit[l], n)
+		}
+	}
+	wantCost := e.cfg.PassBase +
+		time.Duration(fixed)*e.cfg.PassPerFixedJob +
+		time.Duration(variable)*e.cfg.PassPerVarJob +
+		time.Duration(len(e.primeQueue))*e.cfg.PassPerFixedJob
+	if got := e.passCost(); got != wantCost {
+		t.Fatalf("op %d: passCost = %v, scan wants %v", op, got, wantCost)
+	}
+}
+
+// TestQueueAggregateStormMatchesRecompute pins the O(1) pilot-queue
+// aggregates to the queue walks they replaced: after every operation
+// of a randomized submit/cancel/launch storm (launches happen inside
+// the time advances, via scheduling passes), the maintained counts,
+// the by-limit histogram — including absence of zero-count keys — and
+// the pass-cost formula must match a from-scratch recomputation.
+func TestQueueAggregateStormMatchesRecompute(t *testing.T) {
+	lengths := []time.Duration{2, 4, 6, 8, 14, 22, 34, 56, 90}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sim, e := newEmu(t, 4)
+			rng := dist.NewRand(seed)
+			// Four nodes flapping between idle and prime-occupied, so
+			// passes keep launching (removing) queued pilots all storm.
+			tr := &workload.Trace{Nodes: 4, Horizon: 12 * time.Hour}
+			for n := 0; n < 4; n++ {
+				at := time.Duration(rng.Intn(600)) * time.Second
+				for at < tr.Horizon {
+					idle := time.Duration(5+rng.Intn(90)) * time.Minute
+					end := at + idle
+					if end > tr.Horizon {
+						end = tr.Horizon
+					}
+					tr.Periods = append(tr.Periods, workload.IdlePeriod{
+						Node: n, Start: at, End: end, DeclaredEnd: end,
+					})
+					at = end + time.Duration(5+rng.Intn(60))*time.Minute
+				}
+			}
+			tr.Sort()
+			e.DriveTrace(tr)
+			e.Start()
+
+			var pending []*Job
+			for op := 0; op < 2000; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2: // submit a fixed pilot
+					l := lengths[rng.Intn(len(lengths))] * time.Minute
+					pending = append(pending, e.Submit(fixedPilot(l)))
+				case 3: // submit a flexible (--time-min) pilot
+					pending = append(pending, e.Submit(JobSpec{
+						Name: "flex", Partition: pilotPart, Nodes: 1,
+						TimeMin: 2 * time.Minute, TimeLimit: 2 * time.Hour,
+					}))
+				case 4: // cancel a random job (no-op if it already started)
+					if len(pending) > 0 {
+						i := rng.Intn(len(pending))
+						e.Cancel(pending[i])
+						pending = append(pending[:i], pending[i+1:]...)
+					}
+				default: // let passes run: launches drain the queue
+					sim.RunFor(time.Duration(rng.Intn(120)) * time.Second)
+				}
+				checkQueueAggregates(t, e, op)
+			}
+			if e.Started == 0 || e.Cancelled == 0 {
+				t.Fatalf("storm too quiet (started=%d cancelled=%d) — launch/cancel removal paths not exercised", e.Started, e.Cancelled)
+			}
+			checkQueueAggregates(t, e, -1)
+		})
+	}
+}
+
+// BenchmarkQueuedPilotsByLimit pins the copy-free read path of the
+// supply-policy histogram: reading it (and iterating it, as a
+// replenish loop does) is allocation-free — it used to build a fresh
+// map per call.
+func BenchmarkQueuedPilotsByLimit(b *testing.B) {
+	e := New(des.New(), 1, DefaultConfig())
+	e.AddPartition(Partition{Name: pilotPart, PriorityTier: 0})
+	for i, l := range []time.Duration{2, 4, 6, 8, 14, 22, 34, 56, 90} {
+		for k := 0; k <= i%3; k++ {
+			e.Submit(fixedPilot(l * time.Minute))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		for _, n := range e.QueuedPilotsByLimit() {
+			total += n
+		}
+	}
+	if total < 0 {
+		b.Fatal("impossible")
+	}
+}

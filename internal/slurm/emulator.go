@@ -70,6 +70,17 @@ type Emulator struct {
 	pilotQueue jobHeap // tier-0 queue ordered by (priority desc, submit)
 	primeQueue []*Job  // tier ≥1 FIFO queue (full-scheduler mode)
 
+	// O(1) pilot-queue aggregates, maintained at the queue's only two
+	// mutation points (pilotPush, pilotRemove) with values identical to
+	// walking pilotQueue — recomputeQueueAggregates is the test oracle.
+	// They make passCost and the QueuedPilots* supply-policy signals
+	// constant-cost and allocation-free: passCost used to walk the whole
+	// queue every scheduling pass, and the by-limit histogram used to be
+	// rebuilt into a fresh map every policy tick.
+	nFixed    int                   // pending fixed-length tier-0 jobs
+	nVariable int                   // pending flexible (--time-min) tier-0 jobs
+	byLimit   map[time.Duration]int // fixed jobs per TimeLimit; no zero-count keys
+
 	runningByNode []*Job // pilot or prime job occupying each node
 
 	// Trace mode: the scheduler's declared view of each node's current
@@ -98,6 +109,7 @@ func New(sim *des.Sim, n int, cfg Config) *Emulator {
 		partitions:    map[string]*Partition{},
 		runningByNode: make([]*Job, n),
 		declaredEnd:   make([]des.Time, n),
+		byLimit:       map[time.Duration]int{},
 	}
 	return e
 }
@@ -196,19 +208,64 @@ func (e *Emulator) runPass() {
 	e.schedulePass(next)
 }
 
+// passCost prices one scheduling pass from the maintained queue
+// aggregates — O(1) where it used to walk the entire pilot queue every
+// pass.
 func (e *Emulator) passCost() time.Duration {
-	var fixed, variable int
+	return e.cfg.PassBase +
+		time.Duration(e.nFixed)*e.cfg.PassPerFixedJob +
+		time.Duration(e.nVariable)*e.cfg.PassPerVarJob +
+		time.Duration(len(e.primeQueue))*e.cfg.PassPerFixedJob
+}
+
+// pilotPush enqueues a tier-0 job, maintaining the queue aggregates.
+// Every pilotQueue insertion goes through here.
+func (e *Emulator) pilotPush(j *Job) {
+	e.pilotQueue.push(j)
+	if j.Variable() {
+		e.nVariable++
+	} else {
+		e.nFixed++
+		e.byLimit[j.Spec.TimeLimit]++
+	}
+}
+
+// pilotRemove dequeues a tier-0 job, maintaining the queue aggregates.
+// Every pilotQueue removal goes through here. Zero-count histogram keys
+// are deleted so the live map's length and iteration match the
+// fresh-map scan it replaced.
+func (e *Emulator) pilotRemove(j *Job) {
+	before := len(e.pilotQueue)
+	e.pilotQueue.remove(j)
+	if len(e.pilotQueue) == before {
+		return // not queued; remove was a no-op
+	}
+	if j.Variable() {
+		e.nVariable--
+	} else {
+		e.nFixed--
+		if n := e.byLimit[j.Spec.TimeLimit] - 1; n == 0 {
+			delete(e.byLimit, j.Spec.TimeLimit)
+		} else {
+			e.byLimit[j.Spec.TimeLimit] = n
+		}
+	}
+}
+
+// recomputeQueueAggregates rebuilds the pilot-queue aggregates by full
+// walk — the pre-O(1) implementation, kept as the equivalence oracle
+// for the aggregate storm test. Not called on any hot path.
+func (e *Emulator) recomputeQueueAggregates() (fixed, variable int, byLimit map[time.Duration]int) {
+	byLimit = map[time.Duration]int{}
 	for _, j := range e.pilotQueue {
 		if j.Variable() {
 			variable++
-		} else {
-			fixed++
+			continue
 		}
+		fixed++
+		byLimit[j.Spec.TimeLimit]++
 	}
-	return e.cfg.PassBase +
-		time.Duration(fixed)*e.cfg.PassPerFixedJob +
-		time.Duration(variable)*e.cfg.PassPerVarJob +
-		time.Duration(len(e.primeQueue))*e.cfg.PassPerFixedJob
+	return fixed, variable, byLimit
 }
 
 // Submit enqueues a job. Tier-0 partitions feed the pilot queue;
@@ -234,7 +291,7 @@ func (e *Emulator) Submit(spec JobSpec) *Job {
 	}
 	e.nextID++
 	if p.PriorityTier == 0 {
-		e.pilotQueue.push(j)
+		e.pilotPush(j)
 	} else {
 		e.primeQueue = append(e.primeQueue, j)
 	}
@@ -248,7 +305,7 @@ func (e *Emulator) Cancel(j *Job) bool {
 		return false
 	}
 	if j.heapIdx >= 0 {
-		e.pilotQueue.remove(j)
+		e.pilotRemove(j)
 	} else {
 		for i, q := range e.primeQueue {
 			if q == j {
@@ -274,28 +331,20 @@ func (e *Emulator) QueuedPilots() int { return len(e.pilotQueue) }
 // limit. Flexible (--time-min) jobs are excluded: their TimeLimit is
 // only an upper bound, so bucketing them with the fixed bags would let
 // a hybrid supply policy double-count its two halves.
+//
+// The returned map is the emulator's live maintained histogram, not a
+// copy — the read is O(1) and allocation-free. Contract: callers must
+// NOT mutate it, and must expect it to change under them as jobs
+// submit, start, or cancel (in particular, a Submit issued while
+// iterating updates the map the caller is holding). Keys with a zero
+// count are absent, exactly as in the per-call rebuild it replaced.
 func (e *Emulator) QueuedPilotsByLimit() map[time.Duration]int {
-	out := map[time.Duration]int{}
-	for _, j := range e.pilotQueue {
-		if j.Variable() {
-			continue
-		}
-		out[j.Spec.TimeLimit]++
-	}
-	return out
+	return e.byLimit
 }
 
 // QueuedFlexiblePilots counts pending flexible (--time-min) tier-0
-// jobs.
-func (e *Emulator) QueuedFlexiblePilots() int {
-	n := 0
-	for _, j := range e.pilotQueue {
-		if j.Variable() {
-			n++
-		}
-	}
-	return n
-}
+// jobs. O(1): a maintained aggregate, not a queue walk.
+func (e *Emulator) QueuedFlexiblePilots() int { return e.nVariable }
 
 // schedulePilotsOn places tier-0 jobs on the snapshot's idle nodes
 // (re-validated against the current state) using the scheduler's
@@ -332,7 +381,7 @@ func (e *Emulator) schedulePilotsOn(idle []int) {
 				continue
 			}
 		}
-		e.pilotQueue.remove(j)
+		e.pilotRemove(j)
 		e.startJob(j, []int{node}, granted, cluster.Pilot)
 		starts++
 	}

@@ -49,6 +49,11 @@ type Action struct {
 	// fallback) instead of restarting. nil — or a model whose Enabled
 	// is false — leaves the execution path exactly as it was.
 	Checkpoint *checkpoint.Model
+
+	// nameHash memoizes hash() at RegisterAction time: the home-invoker
+	// derivation reads it on every route, and the value never changes
+	// for a deployed action (Name is fixed at registration).
+	nameHash uint32
 }
 
 func (a *Action) hash() uint32 {

@@ -97,6 +97,33 @@ type Controller struct {
 	slots    []*Invoker
 	slotSpan int
 
+	// O(1) control-plane aggregates. Every routing decision, router
+	// snapshot, and supply-policy tick reads these signals, so they are
+	// maintained incrementally at the state transitions that change them
+	// instead of recomputed by per-call scans over the slot array —
+	// values identical to the scans (recomputeAggregates is the test
+	// oracle; the aggregate storm test cross-checks every transition).
+	//
+	//   nHealthy    — invokers in state InvokerHealthy
+	//                 (attach, Sigterm, Kill)
+	//   nDraining   — invokers in state InvokerDraining
+	//                 (Sigterm, deregister, Kill)
+	//   healthyCap  — Σ cfg.Capacity over healthy invokers
+	//                 (same transitions as nHealthy)
+	//   busyHealthy — Σ len(running) over healthy invokers
+	//                 (execute, removeRunning, and the healthy-state
+	//                 transitions, which add/remove the whole list)
+	//   backlog     — Σ topic.Len() + Σ len(buffer) over slotted
+	//                 invokers (topic deltas via bus.Topic.Watch,
+	//                 armed in attach and disarmed in clearSlot;
+	//                 buffer deltas via noteBuffer in poll, dispatch,
+	//                 Sigterm, and Kill)
+	nHealthy    int
+	nDraining   int
+	healthyCap  int
+	busyHealthy int
+	backlog     int
+
 	fastLane *bus.Topic
 
 	nextInvID int64
@@ -158,71 +185,120 @@ func (c *Controller) Bus() *bus.Bus { return c.b }
 // FastLane exposes the global priority topic.
 func (c *Controller) FastLane() *bus.Topic { return c.fastLane }
 
-// RegisterAction deploys a function.
+// RegisterAction deploys a function. The action-name hash that derives
+// the home invoker is memoized here, once per deployment, so the
+// per-request pickInvoker never rehashes the name.
 func (c *Controller) RegisterAction(a *Action) {
 	if _, dup := c.actions[a.Name]; dup {
 		panic(fmt.Sprintf("whisk: action %q already registered", a.Name))
 	}
+	a.nameHash = a.hash()
 	c.actions[a.Name] = a
 }
 
 // Action returns a deployed function by name.
 func (c *Controller) Action(name string) *Action { return c.actions[name] }
 
-// HealthyCount returns the number of invokers accepting work.
-func (c *Controller) HealthyCount() int {
-	n := 0
-	for _, inv := range c.slots {
-		if inv != nil && inv.state == InvokerHealthy {
-			n++
-		}
-	}
-	return n
-}
+// HealthyCount returns the number of invokers accepting work. O(1):
+// a maintained aggregate, not a slot scan.
+func (c *Controller) HealthyCount() int { return c.nHealthy }
 
 // Utilization returns the busy share of healthy invoker capacity:
 // in-flight executions over total concurrency slots, in [0, 1]. It is
 // 0 with no healthy invoker. Supply policies use it as their
-// harvested-pool load signal.
+// harvested-pool load signal. O(1): the numerator and denominator are
+// maintained aggregates, divided exactly as the scan divided them.
 func (c *Controller) Utilization() float64 {
-	capacity, busy := 0, 0
-	for _, inv := range c.slots {
-		if inv != nil && inv.state == InvokerHealthy {
-			capacity += inv.cfg.Capacity
-			busy += len(inv.running)
-		}
-	}
-	if capacity == 0 {
+	if c.healthyCap == 0 {
 		return 0
 	}
-	return float64(busy) / float64(capacity)
+	return float64(c.busyHealthy) / float64(c.healthyCap)
 }
 
 // DrainingCount returns the number of invokers mid-hand-off (§III-C):
 // still registered, no longer routed to. Routing layers read it as an
-// early reclaim-storm signal.
-func (c *Controller) DrainingCount() int {
-	n := 0
-	for _, inv := range c.slots {
-		if inv != nil && inv.state == InvokerDraining {
-			n++
-		}
-	}
-	return n
-}
+// early reclaim-storm signal. O(1).
+func (c *Controller) DrainingCount() int { return c.nDraining }
 
 // QueueDepth returns the accepted-but-unstarted backlog: unpulled
 // topic messages plus invoker-side buffers across the live invokers.
 // Together with FastLaneDepth it is the queue-pressure signal the
-// federation routing policies observe.
-func (c *Controller) QueueDepth() int {
-	n := 0
-	for _, inv := range c.slots {
-		if inv != nil {
-			n += inv.topic.Len() + inv.Buffered()
-		}
+// federation routing policies observe. O(1): topic lengths flow in
+// through bus.Topic.Watch and buffer lengths through noteBuffer.
+func (c *Controller) QueueDepth() int { return c.backlog }
+
+// noteBuffer applies an invoker-buffer length delta to the backlog
+// aggregate. Every mutation of an attached invoker's buffer reports
+// here; watched topics report their own deltas through the bus. The
+// delta only lands while w holds a slot — the scan never saw an
+// unslotted invoker's buffer.
+func (c *Controller) noteBuffer(w *Invoker, delta int) {
+	if w.slotted {
+		c.backlog += delta
 	}
-	return n
+}
+
+// noteStateChange maintains the invoker-population aggregates across
+// one state transition of a slotted invoker (transitions of an invoker
+// already pulled from the slot list are invisible, as they were to the
+// scan). The caller invokes it at the transition point, with w.running
+// still reflecting the pre-transition list for transitions out of
+// Healthy (the whole in-flight list enters or leaves the busy
+// aggregate with its invoker).
+func (c *Controller) noteStateChange(w *Invoker, from, to InvokerState) {
+	if !w.slotted {
+		return
+	}
+	switch from {
+	case InvokerHealthy:
+		c.nHealthy--
+		c.healthyCap -= w.cfg.Capacity
+		c.busyHealthy -= len(w.running)
+	case InvokerDraining:
+		c.nDraining--
+	}
+	switch to {
+	case InvokerHealthy:
+		c.nHealthy++
+		c.healthyCap += w.cfg.Capacity
+		c.busyHealthy += len(w.running)
+	case InvokerDraining:
+		c.nDraining++
+	}
+}
+
+// noteRunning applies an in-flight execution delta for invoker w. Only
+// healthy invokers feed the busy aggregate (the scan skipped draining
+// ones), so the delta is dropped unless w is currently Healthy — a
+// draining invoker's stragglers were already subtracted wholesale by
+// its Healthy→Draining transition.
+func (c *Controller) noteRunning(w *Invoker, delta int) {
+	if w.slotted && w.state == InvokerHealthy {
+		c.busyHealthy += delta
+	}
+}
+
+// recomputeAggregates rebuilds every maintained control-plane aggregate
+// by full scan — the pre-O(1) implementations, kept as the equivalence
+// oracle. Tests (the aggregate storm cross-check, and any future
+// transition audit) compare its results against the live fields; it is
+// not called on any hot path.
+func (c *Controller) recomputeAggregates() (healthy, draining, capacity, busy, backlog int) {
+	for _, inv := range c.slots {
+		if inv == nil {
+			continue
+		}
+		switch inv.state {
+		case InvokerHealthy:
+			healthy++
+			capacity += inv.cfg.Capacity
+			busy += len(inv.running)
+		case InvokerDraining:
+			draining++
+		}
+		backlog += inv.topic.Len() + inv.Buffered()
+	}
+	return healthy, draining, capacity, busy, backlog
 }
 
 // FastLaneDepth returns the backlog of the global priority topic —
@@ -336,7 +412,7 @@ func (c *Controller) pickInvoker(a *Action) *Invoker {
 	if n == 0 {
 		return nil
 	}
-	start := int(a.hash()) % n
+	start := int(a.nameHash) % n
 	live := len(c.slots)
 	var home *Invoker
 	for i := 0; i < n; i++ {
@@ -470,8 +546,18 @@ func (c *Controller) drainCb(v any) {
 // clearSlot frees the invoker's slot, stopping at the first match, and
 // compacts trailing free slots so churn doesn't grow the array without
 // bound. (slotSpan deliberately keeps the high-water mark — see the
-// field comment.)
+// field comment.) This is the single point an invoker leaves the slot
+// list, so every aggregate retires here: the topic watcher disarms
+// (messages rotting on the departed topic stop counting, exactly as
+// the slot scan stopped seeing them), and an invoker removed while
+// still live — Deregister called directly, bypassing the drain state
+// machine — takes its population, busy, and buffer contributions with
+// it.
 func (c *Controller) clearSlot(inv *Invoker) {
+	c.noteStateChange(inv, inv.state, InvokerGone)
+	c.noteBuffer(inv, -len(inv.buffer))
+	inv.topic.Unwatch()
+	inv.slotted = false
 	for i, s := range c.slots {
 		if s == inv {
 			c.slots[i] = nil

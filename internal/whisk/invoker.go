@@ -105,10 +105,11 @@ type Invoker struct {
 	// the exact sequence they always did.
 	ckptRng *rand.Rand
 
-	ctrl  *Controller
-	slot  int
-	topic *bus.Topic
-	state InvokerState
+	ctrl    *Controller
+	slot    int
+	topic   *bus.Topic
+	state   InvokerState
+	slotted bool // occupies a controller slot; gates all aggregate updates
 
 	buffer  []*bus.Message
 	running []*Invocation // insertion order (determinism matters)
@@ -117,7 +118,8 @@ type Invoker struct {
 	oneMsg    [1]*bus.Message // scratch for single-message requeues
 
 	pool       map[string]*containerSet
-	poolList   []*containerSet // dense view of pool for LRU scans (sets are never removed)
+	poolList   []*containerSet // dense view of pool (sets are never removed; the eviction oracle scans it)
+	idleHeap   []*containerSet // min-heap over sets with idle > 0, keyed (lastUsed, name)
 	containers int             // total containers (idle + busy)
 
 	ticker *des.Ticker
@@ -140,6 +142,7 @@ type containerSet struct {
 	idle     int
 	busy     int
 	lastUsed des.Time
+	heapIdx  int // position in the invoker's idle min-heap; -1 when idle == 0
 }
 
 // NewInvoker builds an invoker; it is inert until registered with a
@@ -162,12 +165,19 @@ func NewInvoker(cfg InvokerConfig, seed int64) *Invoker {
 	return w
 }
 
-// attach is called by Controller.Register.
+// attach is called by Controller.Register. The controller's population
+// aggregates pick the invoker up here, and the topic watcher arms so
+// deliveries flow into the backlog aggregate (including any messages
+// already rotting on the topic from a previous occupant of the slot,
+// exactly as the slot scan re-counted them).
 func (w *Invoker) attach(c *Controller, slot int) {
 	w.ctrl = c
 	w.slot = slot
 	w.state = InvokerHealthy
+	w.slotted = true
+	c.noteStateChange(w, InvokerGone, InvokerHealthy)
 	w.topic = c.b.Topic(fmt.Sprintf("invoker%d", slot))
+	w.topic.Watch(&c.backlog)
 	w.topic.OnDelivery(w.poll)
 	w.ticker = c.sim.Every(w.cfg.PollInterval, w.poll)
 }
@@ -211,6 +221,9 @@ func (w *Invoker) poll() {
 		if got := len(w.buffer) - before; got < batch {
 			w.buffer = w.topic.PullAppend(w.buffer, batch-got)
 		}
+		// Own-topic pulls canceled out by the topic watcher; fast-lane
+		// pulls are a net backlog increase, as in the scan.
+		w.ctrl.noteBuffer(w, len(w.buffer)-before)
 	}
 	// Container-limit pressure: drop what cannot even be buffered.
 	if room <= 0 {
@@ -234,6 +247,7 @@ func (w *Invoker) dispatch() {
 		copy(w.buffer, w.buffer[1:])
 		w.buffer[len(w.buffer)-1] = nil
 		w.buffer = w.buffer[:len(w.buffer)-1]
+		w.ctrl.noteBuffer(w, -1)
 		inv := m.Payload.(*Invocation)
 		w.ctrl.b.Recycle(m)
 		if inv.Status != StatusPending {
@@ -252,6 +266,7 @@ func (w *Invoker) execute(inv *Invocation) {
 	inv.invoker = w
 	inv.InvokerID = w.slot
 	w.running = append(w.running, inv)
+	w.ctrl.noteRunning(w, 1)
 
 	start := w.acquireContainer(inv)
 	inv.ColdStart = inv.ColdStart || start.cold
@@ -390,12 +405,15 @@ type containerStart struct {
 	delay time.Duration
 }
 
-// acquireContainer finds or creates a container for the action.
+// acquireContainer finds or creates a container for the action,
+// maintaining the idle min-heap: a set whose last idle container is
+// taken leaves the heap; one staying warm sifts down for its fresher
+// lastUsed key.
 func (w *Invoker) acquireContainer(inv *Invocation) containerStart {
 	now := w.ctrl.sim.Now()
 	cs := w.pool[inv.Action.Name]
 	if cs == nil {
-		cs = &containerSet{name: inv.Action.Name}
+		cs = &containerSet{name: inv.Action.Name, heapIdx: -1}
 		w.pool[inv.Action.Name] = cs
 		w.poolList = append(w.poolList, cs)
 	}
@@ -403,6 +421,13 @@ func (w *Invoker) acquireContainer(inv *Invocation) containerStart {
 	if cs.idle > 0 {
 		cs.idle--
 		cs.busy++
+		if cs.idle == 0 {
+			w.idleHeapRemove(cs)
+		} else {
+			// The key only grew (sim time is monotone), so the heap
+			// property can break downward only.
+			w.idleHeapDown(cs.heapIdx)
+		}
 		w.WarmStarts++
 		return containerStart{cold: false, delay: w.warm.Seconds()}
 	}
@@ -423,34 +448,115 @@ func (w *Invoker) releaseContainer(a *Action) {
 	}
 	cs.busy--
 	cs.idle++
+	if cs.idle == 1 {
+		w.idleHeapPush(cs)
+	}
 }
 
-// evictLRUIdle drops the least-recently-used idle container. The scan
-// runs over the dense poolList rather than the pool map: the victim is
-// the minimum under the total order (lastUsed, name), which is
-// independent of visit order, so the cheaper slice walk picks exactly
-// the container the map iteration used to.
+// evictLRUIdle drops the least-recently-used idle container: the root
+// of the idle min-heap, whose (lastUsed, name) key is a strict total
+// order (names are unique), so the root is exactly the minimum the
+// poolList scan used to find — recomputeEvictionVictim pins the
+// equivalence in tests. O(log sets) instead of O(sets).
 func (w *Invoker) evictLRUIdle() {
+	if len(w.idleHeap) == 0 {
+		return
+	}
+	victim := w.idleHeap[0]
+	victim.idle--
+	if victim.idle == 0 {
+		w.idleHeapRemove(victim)
+	}
+	w.containers--
+}
+
+// recomputeEvictionVictim is the eviction oracle: the pre-heap dense
+// scan over poolList, returning the idle set with the minimum
+// (lastUsed, name) key, or nil if none is idle. Tests compare it
+// against the heap root; it is not called on any hot path.
+func (w *Invoker) recomputeEvictionVictim() *containerSet {
 	var victim *containerSet
 	for _, cs := range w.poolList {
 		if cs.idle == 0 {
 			continue
 		}
-		if victim == nil || cs.lastUsed < victim.lastUsed ||
-			(cs.lastUsed == victim.lastUsed && cs.name < victim.name) {
+		if victim == nil || idleLess(cs, victim) {
 			victim = cs
 		}
 	}
-	if victim != nil {
-		victim.idle--
-		w.containers--
+	return victim
+}
+
+// idleLess is the eviction order: least recently used first, name as
+// the deterministic tiebreak.
+func idleLess(a, b *containerSet) bool {
+	return a.lastUsed < b.lastUsed || (a.lastUsed == b.lastUsed && a.name < b.name)
+}
+
+func (w *Invoker) idleHeapPush(cs *containerSet) {
+	cs.heapIdx = len(w.idleHeap)
+	w.idleHeap = append(w.idleHeap, cs)
+	w.idleHeapUp(cs.heapIdx)
+}
+
+func (w *Invoker) idleHeapRemove(cs *containerSet) {
+	i := cs.heapIdx
+	last := len(w.idleHeap) - 1
+	w.idleHeap[i] = w.idleHeap[last]
+	w.idleHeap[i].heapIdx = i
+	w.idleHeap[last] = nil
+	w.idleHeap = w.idleHeap[:last]
+	cs.heapIdx = -1
+	if i < last {
+		if !w.idleHeapDown(i) {
+			w.idleHeapUp(i)
+		}
 	}
+}
+
+func (w *Invoker) idleHeapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !idleLess(w.idleHeap[i], w.idleHeap[parent]) {
+			return
+		}
+		w.idleHeapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (w *Invoker) idleHeapDown(i int) bool {
+	moved := false
+	n := len(w.idleHeap)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			return moved
+		}
+		if r := kid + 1; r < n && idleLess(w.idleHeap[r], w.idleHeap[kid]) {
+			kid = r
+		}
+		if !idleLess(w.idleHeap[kid], w.idleHeap[i]) {
+			return moved
+		}
+		w.idleHeapSwap(i, kid)
+		i = kid
+		moved = true
+	}
+}
+
+func (w *Invoker) idleHeapSwap(i, j int) {
+	h := w.idleHeap
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
 }
 
 func (w *Invoker) removeRunning(inv *Invocation) {
 	for i, r := range w.running {
 		if r == inv {
 			w.running = append(w.running[:i], w.running[i+1:]...)
+			w.ctrl.noteRunning(w, -1)
 			return
 		}
 	}
@@ -466,16 +572,23 @@ func (w *Invoker) Sigterm(interruptRunning bool, onDrained func()) {
 		return
 	}
 	w.state = InvokerDraining
+	// Aggregate bookkeeping happens while w.running is still intact: the
+	// Healthy→Draining transition removes this invoker's in-flight
+	// executions from the busy aggregate, exactly as the scan stopped
+	// counting them.
+	w.ctrl.noteStateChange(w, InvokerHealthy, InvokerDraining)
 	w.onDrained = onDrained
 	w.ticker.Stop()
 	w.ctrl.SetDraining(w)
 
-	// Flush the unexecuted buffer to the fast lane.
+	// Flush the unexecuted buffer to the fast lane (which the backlog
+	// aggregate does not cover — FastLaneDepth is its own signal).
 	if len(w.buffer) > 0 {
 		w.Requeued += len(w.buffer)
 		for _, m := range w.buffer {
 			m.Payload.(*Invocation).Requeues++
 		}
+		w.ctrl.noteBuffer(w, -len(w.buffer))
 		w.ctrl.requeueFastLane(w.buffer)
 		w.buffer = nil
 	}
@@ -575,6 +688,7 @@ func (w *Invoker) deregister() {
 	if w.state == InvokerGone {
 		return
 	}
+	w.ctrl.noteStateChange(w, w.state, InvokerGone)
 	w.state = InvokerGone
 	w.ctrl.Deregister(w)
 	if w.onDrained != nil {
@@ -591,6 +705,10 @@ func (w *Invoker) Kill() {
 	if w.state == InvokerGone {
 		return
 	}
+	// Booked before running/buffer are torn down: a kill from Healthy
+	// drops len(running) executions out of the busy aggregate in one
+	// step.
+	w.ctrl.noteStateChange(w, w.state, InvokerGone)
 	if w.ticker != nil {
 		w.ticker.Stop()
 	}
@@ -602,6 +720,7 @@ func (w *Invoker) Kill() {
 		w.ctrl.release(inv) // the running list's reference
 	}
 	w.running = nil
+	w.ctrl.noteBuffer(w, -len(w.buffer))
 	for _, m := range w.buffer {
 		inv := m.Payload.(*Invocation)
 		w.ctrl.b.Recycle(m)
